@@ -1,0 +1,250 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. Compaction threshold: hot-set density vs compaction work (§4.2).
+2. History depth on the macos-like workload: dedup ratio vs scratch memory
+   (§4.1's extra hash table).
+3. Capping level: restore speed vs dedup-ratio loss (the baseline's knob).
+4. FAA area size: restore reads vs memory, on a HiDeStore layout.
+5. Restore algorithm shoot-out on identical fragmented layouts.
+"""
+
+import pytest
+
+from common import CONTAINER, emit, run_scheme, table
+from repro.core.hidestore import HiDeStore
+from repro.metrics import exact_dedup_ratio
+from repro.pipeline import build_scheme
+from repro.restore import (
+    ALACCRestore,
+    ChunkCacheRestore,
+    ContainerCacheRestore,
+    FAARestore,
+    OptimalContainerCacheRestore,
+)
+from repro.units import KiB, MiB
+from repro.workloads import load_preset
+
+VERSIONS = 16
+
+
+def test_ablation_compaction_threshold(benchmark):
+    rows = []
+
+    def sweep():
+        for threshold in (0.0, 0.3, 0.5, 0.7, 0.9):
+            system = HiDeStore(container_size=CONTAINER, compaction_threshold=threshold)
+            for stream in load_preset("kernel", versions=VERSIONS).versions():
+                system.backup(stream)
+            newest = system.version_ids()[-1]
+            sf = system.restore(newest).speed_factor
+            rows.append([
+                f"{threshold:.1f}",
+                f"{sf:.3f}",
+                system.pool.container_count(),
+                system.pool.stats.compactions,
+                f"{system.pool.stats.compact_seconds * 1000:.1f} ms",
+            ])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        ["threshold", "sf(newest)", "active containers", "compactions", "compact time"],
+        rows,
+        title="Ablation — compaction threshold (kernel)",
+    )
+    # Higher thresholds keep the hot set denser (fewer active containers).
+    assert int(rows[-1][2]) <= int(rows[0][2])
+
+
+def test_ablation_history_depth_macos(benchmark):
+    rows = []
+    exact = exact_dedup_ratio(load_preset("macos", versions=10).versions())
+
+    def sweep():
+        for depth in (1, 2, 3):
+            system = HiDeStore(container_size=CONTAINER, history_depth=depth)
+            for stream in load_preset("macos", versions=10).versions():
+                system.backup(stream)
+            rows.append([
+                depth,
+                f"{system.dedup_ratio:.4f}",
+                system.transient_cache_bytes,
+            ])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        ["history depth", "dedup ratio", "T1/T2 bytes"],
+        rows + [["exact", f"{exact:.4f}", "-"]],
+        title="Ablation — history depth on macos (§4.1's extra hash table)",
+    )
+    assert float(rows[1][1]) > float(rows[0][1])  # depth 2 recovers skips
+    # rows hold 4-decimal renderings; allow that rounding.
+    assert abs(float(rows[1][1]) - exact) < 1e-3
+    assert int(rows[1][2]) > int(rows[0][2])  # at a memory cost
+
+
+def test_ablation_capping_level(benchmark):
+    rows = []
+
+    def sweep():
+        for cap in (4, 8, 16, 32, 64):
+            system = build_scheme(
+                "capping",
+                container_size=CONTAINER,
+                rewriter_kwargs=dict(cap=cap, segment_bytes=4 * MiB),
+                index_kwargs=dict(cache_containers=16),
+            )
+            for stream in load_preset("kernel", versions=VERSIONS).versions():
+                system.backup(stream)
+            newest = system.version_ids()[-1]
+            rows.append([
+                cap,
+                f"{system.dedup_ratio:.4f}",
+                f"{system.restore(newest).speed_factor:.3f}",
+            ])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        ["cap", "dedup ratio", "sf(newest)"],
+        rows,
+        title="Ablation — capping level (restore speed vs ratio loss)",
+    )
+    # Tighter caps trade dedup ratio for restore speed.
+    assert float(rows[0][1]) < float(rows[-1][1])
+    assert float(rows[0][2]) >= float(rows[-1][2])
+
+
+def test_ablation_greedy_vs_classic_capping(benchmark):
+    """Submodular (byte-coverage, ref [34]) vs count-ranked capping."""
+    rows = []
+
+    def sweep():
+        for cap in (8, 16, 32):
+            for name, kwargs in (
+                ("capping", dict(cap=cap, segment_bytes=4 * MiB)),
+                ("greedy-capping", dict(cap=cap, segment_bytes=4 * MiB,
+                                        min_coverage_bytes=32 * 1024)),
+            ):
+                system = build_scheme(
+                    name,
+                    container_size=CONTAINER,
+                    rewriter_kwargs=kwargs,
+                    index_kwargs=dict(cache_containers=16),
+                )
+                for stream in load_preset("kernel", versions=VERSIONS).versions():
+                    system.backup(stream)
+                newest = system.version_ids()[-1]
+                rows.append([
+                    name,
+                    cap,
+                    f"{system.dedup_ratio:.4f}",
+                    f"{system.restore(newest).speed_factor:.3f}",
+                ])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        ["variant", "cap", "dedup ratio", "sf(newest)"],
+        rows,
+        title="Ablation — greedy (submodular) vs classic capping",
+    )
+    # At equal caps, the greedy variant must not lose more ratio.
+    by_key = {(r[0], r[1]): float(r[2]) for r in rows}
+    for cap in (8, 16, 32):
+        assert by_key[("greedy-capping", cap)] >= by_key[("capping", cap)] - 0.02
+
+
+def test_ablation_faa_area(benchmark):
+    system = run_scheme("baseline", "kernel", versions=VERSIONS)
+    newest = system.version_ids()[-1]
+    rows = []
+
+    def sweep():
+        for area in (2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB, 32 * MiB):
+            sf = system.restore(newest, restorer=FAARestore(area_bytes=area)).speed_factor
+            rows.append([f"{area // MiB} MiB", f"{sf:.3f}"])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(["FAA area", "sf(newest)"], rows, title="Ablation — FAA area size (baseline layout)")
+    assert float(rows[-1][1]) >= float(rows[0][1])
+
+
+def test_ablation_index_family(benchmark):
+    """All implemented fingerprint indexes on one workload: the design space
+    around Figures 9/10 (exact vs near-exact, RAM vs disk vs flash)."""
+    configs = {
+        "exact": {},
+        "ddfs": dict(index_kwargs=dict(cache_containers=16)),
+        "blc": dict(index_kwargs=dict(cache_pages=8)),
+        "chunkstash": {},
+        "sparse": {},
+        "silo": {},
+        "binning": {},
+        "hidestore": {},
+    }
+    rows = []
+
+    def sweep():
+        for name, kwargs in configs.items():
+            system = build_scheme(name, container_size=CONTAINER, **kwargs)
+            for stream in load_preset("kernel", versions=VERSIONS).versions():
+                system.backup(stream)
+            report = system.report
+            extra = ""
+            if name == "chunkstash":
+                extra = f"{system.index.flash_lookups} flash"
+            rows.append([
+                name,
+                f"{report.dedup_ratio:.4f}",
+                f"{report.lookups_per_gb:.0f}",
+                f"{report.index_bytes_per_mb:.1f}",
+                extra,
+            ])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        ["index", "dedup ratio", "lkp/GB", "idx B/MB", "notes"],
+        rows,
+        title="Ablation — the fingerprint-index design space (kernel)",
+    )
+    by_name = {r[0]: r for r in rows}
+    # Exact family all tie on ratio; HiDeStore matches them.
+    assert by_name["hidestore"][1] == by_name["exact"][1] == by_name["ddfs"][1]
+
+
+def test_ablation_restore_algorithms_on_same_layout(benchmark):
+    """All restore algorithms over the identical fragmented layout."""
+    system = run_scheme("baseline", "kernel", versions=VERSIONS)
+    newest = system.version_ids()[-1]
+    budget = 8 * MiB
+    algorithms = {
+        "container-lru": ContainerCacheRestore(cache_containers=budget // CONTAINER),
+        "chunk-lru": ChunkCacheRestore(cache_bytes=budget),
+        "faa": FAARestore(area_bytes=budget),
+        "alacc": ALACCRestore(
+            total_bytes=budget, lookahead_bytes=budget,
+            min_faa_bytes=2 * MiB, step_bytes=1 * MiB,
+        ),
+        "optimal": OptimalContainerCacheRestore(cache_containers=budget // CONTAINER),
+    }
+    rows = []
+
+    def sweep():
+        for name, algorithm in algorithms.items():
+            result = system.restore(newest, restorer=algorithm)
+            rows.append([name, result.container_reads, f"{result.speed_factor:.3f}"])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        ["algorithm", "container reads", "speed factor"],
+        rows,
+        title=f"Ablation — restore algorithms, same layout, {budget // MiB} MiB budget",
+    )
+    reads = {row[0]: int(row[1]) for row in rows}
+    assert reads["optimal"] <= reads["container-lru"]
+    assert reads["alacc"] <= reads["faa"] * 1.05

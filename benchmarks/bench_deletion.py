@@ -1,0 +1,87 @@
+"""§5.5 — deletion cost: GC-free expiry vs a traditional GC estimate.
+
+HiDeStore deletes an expired version by dropping whole archival containers
+(no chunk detection, no copying).  A traditional system must (a) determine
+which chunks are exclusive to the expired version — touching every retained
+recipe — and (b) copy the survivors out of partially dead containers.  The
+benchmark times HiDeStore's real deletion and a faithful simulation of the
+traditional mark phase, and reports both.
+"""
+
+import pytest
+
+from common import CONTAINER, emit, run_scheme
+from repro.pipeline import build_scheme
+from repro.workloads import load_preset
+
+VERSIONS = 16
+
+
+def test_deletion_is_gc_free(benchmark):
+    def delete_all():
+        system = run_scheme("hidestore", "kernel", versions=VERSIONS)
+        system.retire()
+        writes_before = system.io.container_writes
+        reclaimed = 0
+        deleted = 0
+        while system.version_ids():
+            stats = system.delete_oldest()
+            reclaimed += stats.bytes_reclaimed
+            deleted += 1
+        return system, reclaimed, deleted, writes_before
+
+    system, reclaimed, deleted, writes_before = benchmark.pedantic(
+        delete_all, rounds=1, iterations=1
+    )
+    emit(f"\n§5.5 — expired {deleted} versions, reclaimed {reclaimed} bytes "
+         f"in {system.deletion.stats.delete_seconds * 1000:.2f} ms total")
+    # No GC traffic: deletion writes nothing.
+    assert system.io.container_writes == writes_before
+    assert len(system.containers) == 0
+
+
+def test_traditional_gc_deletion_for_comparison(benchmark):
+    """The foil: full mark-sweep-copy deletion on the traditional pipeline
+    (scan every retained recipe, copy live chunks out of mixed containers,
+    rewrite every recipe referencing a moved chunk)."""
+    from repro.pipeline import GCDeletionManager
+
+    def delete_all():
+        system = build_scheme("ddfs", container_size=CONTAINER)
+        for stream in load_preset("kernel", versions=VERSIONS).versions():
+            system.backup(stream)
+        gc = GCDeletionManager(system, utilization_threshold=0.8)
+        totals = dict(recipes=0, copied=0, rewritten=0, reclaimed=0, seconds=0.0)
+        while len(system.version_ids()) > 1:
+            stats = gc.delete_version(system.version_ids()[0])
+            totals["recipes"] += stats.recipes_scanned + stats.recipes_rewritten
+            totals["copied"] += stats.bytes_copied
+            totals["rewritten"] += stats.containers_rewritten
+            totals["reclaimed"] += stats.bytes_reclaimed
+            totals["seconds"] += stats.mark_seconds + stats.sweep_seconds
+        return totals
+
+    totals = benchmark.pedantic(delete_all, rounds=1, iterations=1)
+    emit(f"\n§5.5 — traditional GC expired {VERSIONS - 1} versions: "
+         f"{totals['recipes']} recipe scans/rewrites, "
+         f"{totals['copied']} bytes copied, "
+         f"{totals['rewritten']} containers rewritten, "
+         f"{totals['reclaimed']} bytes reclaimed "
+         f"in {totals['seconds'] * 1000:.1f} ms "
+         f"(HiDeStore: zero scans, zero copies)")
+    assert totals["recipes"] > 0
+
+
+def test_hidestore_single_deletion_latency(benchmark):
+    systems = iter([])
+
+    def setup():
+        system = run_scheme("hidestore", "kernel", versions=VERSIONS)
+        return (system,), {}
+
+    def delete_one(system):
+        return system.delete_oldest()
+
+    stats = benchmark.pedantic(delete_one, setup=setup, rounds=5)
+    emit("\n§5.5 — single delete_oldest() latency in benchmark table "
+         "(paper: 'almost zero').")

@@ -1,0 +1,62 @@
+"""Figure 10 — index table overheads (resident index bytes per MB).
+
+Per dataset, prints the resident in-memory index footprint per MB of
+deduplicated data for DDFS, Sparse Indexing, SiLo and HiDeStore.
+
+Paper shape: DDFS highest (full-index machinery: Bloom filter + locality
+cache), Sparse lower (sampled hooks), SiLo lower still (one entry per
+segment), HiDeStore ~zero (the previous recipe *is* the index; T1/T2 are
+transient scratch bounded by one-two versions).
+"""
+
+import pytest
+
+from common import all_presets, emit, run_scheme, table
+
+SCHEMES = ["ddfs", "sparse", "silo", "hidestore"]
+
+
+@pytest.mark.parametrize("preset", all_presets())
+def test_fig10_index_bytes_per_mb(benchmark, preset):
+    systems = {}
+
+    def run_all():
+        for scheme in SCHEMES:
+            systems[scheme] = run_scheme(scheme, preset)
+        return len(systems)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for scheme in SCHEMES:
+        report = systems[scheme].report
+        rows.append([scheme, f"{report.index_bytes_per_mb:.2f}", report.index_memory_bytes])
+    hds = systems["hidestore"]
+    rows.append(
+        ["hidestore (T1/T2 scratch)", "-", hds.transient_cache_bytes]
+    )
+    table(
+        ["scheme", "index B/MB", "resident bytes"],
+        rows,
+        title=f"Figure 10 — index table overhead ({preset})",
+    )
+
+    assert systems["hidestore"].report.index_bytes_per_mb == 0.0
+    assert (
+        systems["ddfs"].report.index_bytes_per_mb
+        > systems["sparse"].report.index_bytes_per_mb
+        > systems["silo"].report.index_bytes_per_mb
+        >= systems["hidestore"].report.index_bytes_per_mb
+    )
+
+
+def test_fig10_hidestore_scratch_bounded_by_versions(benchmark):
+    """§4.1: T1/T2 are bounded by one (or two) versions' metadata."""
+    system = benchmark.pedantic(
+        lambda: run_scheme("hidestore", "kernel"), rounds=1, iterations=1
+    )
+    per_version_entries = len(system.recipes.peek(system.version_ids()[-1]).entries)
+    bound = 2 * per_version_entries * 28 * 1.2
+    emit(f"\nT1/T2 scratch: {system.transient_cache_bytes} B "
+         f"(bound for 2 versions: {bound:.0f} B)")
+    assert system.transient_cache_bytes <= bound

@@ -1,0 +1,62 @@
+"""Figure 11 — restore performance (speed factor) per backup version.
+
+Per dataset, prints the speed factor (MB restored per container read) of
+every stored version under: the no-rewrite baseline, Capping, FBW, ALACC
+(FBW rewriting + ALACC cache) and HiDeStore.
+
+Paper shape: HiDeStore is the best on the NEW versions (up to ~1.6x ALACC)
+and the worst on old ones; the baseline's curve decays with version number;
+rewriting schemes sit in between.  Absolute speed factors top out at 0.5
+(512 KiB containers) instead of the paper's 4.0 (4 MiB) — compare ratios.
+"""
+
+import pytest
+
+from common import all_presets, emit, run_scheme, table
+
+SCHEMES = ["baseline", "capping", "fbw", "alacc", "hidestore"]
+
+
+@pytest.mark.parametrize("preset", all_presets())
+def test_fig11_speed_factor_per_version(benchmark, preset):
+    systems = {}
+
+    def run_all():
+        for scheme in SCHEMES:
+            systems[scheme] = run_scheme(scheme, preset)
+        return len(systems)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    versions = systems["baseline"].version_ids()
+    sample = [v for v in versions if v % 4 == 0 or v in (versions[0], versions[-1])]
+    speed = {s: {} for s in SCHEMES}
+    for scheme in SCHEMES:
+        for version in sample:
+            speed[scheme][version] = systems[scheme].restore(version).speed_factor
+
+    table(
+        ["version"] + SCHEMES,
+        [
+            [f"v{v}"] + [f"{speed[s][v]:.3f}" for s in SCHEMES]
+            for v in sample
+        ],
+        title=f"Figure 11 — speed factor, MB/container-read ({preset})",
+    )
+
+    newest = versions[-1]
+    gain = speed["hidestore"][newest] / max(1e-9, speed["alacc"][newest])
+    emit(f"HiDeStore vs ALACC on the newest version: {gain:.2f}x "
+         f"(paper: up to 1.6x)")
+
+    # Shape assertions.
+    assert speed["hidestore"][newest] > speed["baseline"][newest]
+    assert speed["hidestore"][newest] > speed["capping"][newest]
+    assert speed["hidestore"][newest] > speed["alacc"][newest]
+    # HiDeStore sacrifices the oldest version.
+    oldest = versions[0]
+    assert speed["hidestore"][oldest] <= speed["baseline"][oldest]
+    # The baseline decays toward new versions (classic fragmentation).
+    assert speed["baseline"][newest] < speed["baseline"][oldest]
+    # HiDeStore improves toward the newest version.
+    assert speed["hidestore"][newest] > speed["hidestore"][oldest]

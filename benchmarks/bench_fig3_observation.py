@@ -1,0 +1,42 @@
+"""Figure 3 — chunk counts per version tag (the §3 observation).
+
+For each dataset, replays the infinite-buffer tagging experiment and prints
+the per-tag series.  The paper's shapes to verify:
+
+* kernel / gcc / fslhomes (3a-3c): a tag's count drops sharply one version
+  after it stops being current, then plateaus;
+* macos (3d): the drop spreads over two versions.
+"""
+
+import pytest
+
+from common import all_presets, emit
+from repro.analysis import format_observation_table, run_observation
+from repro.workloads import load_preset
+
+VERSIONS = 8
+CHUNKS = 2000
+
+
+@pytest.mark.parametrize("preset", all_presets())
+def test_fig3_tag_series(benchmark, preset):
+    workload = load_preset(preset, versions=VERSIONS, chunks_per_version=CHUNKS)
+
+    result = benchmark.pedantic(
+        lambda: run_observation(workload.versions()), rounds=1, iterations=1
+    )
+
+    emit(f"\nFigure 3 — {preset}: chunks per version tag after each version")
+    emit(format_observation_table(result, max_tags=6))
+    decay = result.decay_step(1)
+    emit(f"V1 tag decays for {decay} version(s) then plateaus "
+         f"(paper: {'2 — macos' if preset == 'macos' else '1'})")
+
+    # Shape assertions.
+    series = result.tag_series(1)
+    assert series[1] < series[0]  # sharp drop after the next version
+    expected_decay = 2 if preset == "macos" else 1
+    assert decay == expected_decay
+    # Plateau: the count after the decay window never drops much further.
+    settled = series[expected_decay]
+    assert min(series[expected_decay:]) >= settled * 0.95

@@ -1,0 +1,60 @@
+"""Figure 9 — lookup overhead (lookup requests per GB) vs version count.
+
+Prints, for kernel (9a) and gcc (9b), the cumulative lookup-requests-per-GB
+of DDFS, Sparse Indexing, SiLo and HiDeStore as versions accumulate.
+
+Paper shape: HiDeStore is the lowest and stays flat (bounded by one
+version's recipe prefetch); DDFS is the highest and grows; the headline is
+a reduction of up to ~71% vs DDFS.
+"""
+
+import pytest
+
+from common import CHUNKS_PER_VERSION, emit, run_scheme, table
+
+SCHEMES = ["ddfs", "sparse", "silo", "hidestore"]
+CHECKPOINTS = (8, 16, 24)
+
+
+@pytest.mark.parametrize("preset", ["kernel", "gcc"])
+def test_fig9_lookups_per_gb(benchmark, preset):
+    systems = {}
+
+    def run_all():
+        for scheme in SCHEMES:
+            systems[scheme] = run_scheme(scheme, preset, versions=max(CHECKPOINTS))
+        return len(systems)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Cumulative lookups/GB at each checkpoint, from the per-version reports.
+    rows = []
+    series = {}
+    for scheme in SCHEMES:
+        reports = systems[scheme].report.per_version
+        points = []
+        for checkpoint in CHECKPOINTS:
+            lookups = sum(r.disk_index_lookups for r in reports[:checkpoint])
+            logical = sum(r.logical_bytes for r in reports[:checkpoint])
+            points.append(lookups / (logical / 2**30))
+        series[scheme] = points
+        rows.append([scheme] + [f"{p:.0f}" for p in points])
+
+    table(
+        ["scheme"] + [f"@{c} versions" for c in CHECKPOINTS],
+        rows,
+        title=f"Figure 9 — lookup requests per GB ({preset})",
+    )
+    reduction = 1 - series["hidestore"][-1] / series["ddfs"][-1]
+    emit(f"HiDeStore reduces lookups by {reduction:.0%} vs DDFS "
+         f"(paper: up to 71%)")
+
+    assert series["hidestore"][-1] < series["ddfs"][-1]
+    assert series["hidestore"][-1] < series["sparse"][-1] * 2  # same order
+    # HiDeStore stays flat: bounded by one version's recipe.
+    assert series["hidestore"][-1] <= series["hidestore"][0] * 1.3
+    # DDFS's per-version lookups grow as fragmentation spreads the data.
+    ddfs_reports = systems["ddfs"].report.per_version
+    early = sum(r.disk_index_lookups for r in ddfs_reports[1:7]) / 6
+    late = sum(r.disk_index_lookups for r in ddfs_reports[-6:]) / 6
+    assert late >= early

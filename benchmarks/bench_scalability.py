@@ -1,0 +1,86 @@
+"""The scalability claim (paper §1/§3): restore performance *over time*.
+
+    "The scalability in this paper is interpreted that the proposed scheme
+     provides high restore performance over time, which is efficient even
+     when a large number of backup versions are stored."
+
+This bench grows the retained history (10 → 20 → 30 versions of the kernel
+workload) and tracks the speed factor of the **newest** version under the
+traditional baseline and HiDeStore:
+
+* baseline: decays monotonically — every added version fragments the next;
+* HiDeStore: stays flat (within noise) — the hot set is always one
+  version's worth of dense containers, no matter how long the history.
+
+A second part checks the memory side of scalability: HiDeStore's T1/T2
+scratch stays bounded by ~one version's metadata as history grows, while
+DDFS's resident index keeps growing.
+"""
+
+import pytest
+
+from common import CONTAINER, emit, run_scheme, table
+
+HISTORY = (10, 20, 30)
+
+
+def test_scalability_restore_over_time(benchmark):
+    results = {}
+
+    def sweep():
+        for versions in HISTORY:
+            baseline = run_scheme("baseline", "kernel", versions=versions)
+            hds = run_scheme("hidestore", "kernel", versions=versions)
+            results[versions] = (
+                baseline.restore(versions).speed_factor,
+                hds.restore(versions).speed_factor,
+            )
+        return len(results)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table(
+        ["versions stored", "baseline sf(newest)", "hidestore sf(newest)"],
+        [
+            [v, f"{results[v][0]:.3f}", f"{results[v][1]:.3f}"]
+            for v in HISTORY
+        ],
+        title="Scalability — newest-version speed factor vs history length",
+    )
+
+    baseline_first, baseline_last = results[HISTORY[0]][0], results[HISTORY[-1]][0]
+    hds_first, hds_last = results[HISTORY[0]][1], results[HISTORY[-1]][1]
+    emit(f"baseline decays {baseline_first:.3f} -> {baseline_last:.3f}; "
+         f"HiDeStore holds {hds_first:.3f} -> {hds_last:.3f}")
+
+    # Baseline degrades materially with history; HiDeStore does not.
+    assert baseline_last < baseline_first * 0.8
+    assert hds_last > hds_first * 0.8
+    # And at long histories HiDeStore is clearly ahead.
+    assert hds_last > baseline_last * 1.3
+
+
+def test_scalability_memory_bounded(benchmark):
+    rows = []
+
+    def sweep():
+        for versions in HISTORY:
+            ddfs = run_scheme("ddfs", "kernel", versions=versions)
+            hds = run_scheme("hidestore", "kernel", versions=versions)
+            rows.append([
+                versions,
+                ddfs.index.table_bytes,  # modelled on-disk full index
+                hds.transient_cache_bytes,
+            ])
+        return len(rows)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        ["versions", "DDFS full-index bytes", "HiDeStore T1/T2 bytes"],
+        rows,
+        title="Scalability — index growth vs bounded scratch",
+    )
+    # DDFS's index grows with unique data; HiDeStore's scratch is bounded
+    # by ~one version's metadata regardless of history length.
+    assert rows[-1][1] > rows[0][1] * 1.5
+    assert rows[-1][2] < rows[0][2] * 1.5

@@ -1,0 +1,72 @@
+"""Table 1 — Characteristics of workloads.
+
+Regenerates the paper's dataset-characteristics table from the scaled
+synthetic presets: total logical size, version count and (exact)
+deduplication ratio, next to the paper's reported values.  The benchmark
+timing measures workload generation throughput.
+"""
+
+import pytest
+
+from common import CHUNKS_PER_VERSION, all_presets, emit, table
+from repro.metrics import exact_dedup_ratio
+from repro.units import format_bytes
+from repro.workloads import PRESETS, load_preset
+
+
+@pytest.mark.parametrize("preset", all_presets())
+def test_table1_row(benchmark, preset):
+    workload = load_preset(preset, chunks_per_version=CHUNKS_PER_VERSION)
+
+    def generate():
+        total = 0
+        versions = 0
+        for stream in workload.versions():
+            total += stream.logical_size
+            versions += 1
+        return total, versions
+
+    total, versions = benchmark.pedantic(generate, rounds=1, iterations=1)
+    measured = exact_dedup_ratio(workload.versions())
+    paper = PRESETS[preset]
+    table(
+        ["dataset", "total size", "versions", "dedup ratio", "paper size", "paper vers", "paper ratio"],
+        [[
+            preset,
+            format_bytes(total),
+            versions,
+            f"{measured:.2%}",
+            paper.paper_total_size,
+            paper.paper_versions,
+            f"{paper.paper_dedup_ratio:.2%}",
+        ]],
+        title=f"Table 1 (scaled) — {preset}",
+    )
+    # The preset must land within a few points of the paper's ratio.
+    assert abs(measured - paper.paper_dedup_ratio) < 0.05
+
+
+def test_table1_summary(benchmark):
+    rows = []
+
+    def build():
+        for preset in all_presets():
+            workload = load_preset(preset, chunks_per_version=1024)
+            total = sum(s.logical_size for s in workload.versions())
+            ratio = exact_dedup_ratio(workload.versions())
+            paper = PRESETS[preset]
+            rows.append([
+                preset,
+                format_bytes(total),
+                workload.spec.versions,
+                f"{ratio:.2%}",
+                f"{paper.paper_dedup_ratio:.2%}",
+            ])
+        return len(rows)
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    table(
+        ["dataset", "total size", "versions", "measured ratio", "paper ratio"],
+        rows,
+        title="Table 1 — all datasets (scaled reproduction)",
+    )

@@ -1,0 +1,18 @@
+"""Benchmark-suite conftest: report the experiment tables after the run.
+
+The benchmark files build the tables/series the paper reports; pytest's
+output capture would swallow per-test prints, so every emitted line is
+buffered (see ``common.emit``) and dumped in the terminal summary, after
+pytest-benchmark's timing table.
+"""
+
+import common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not common.EMITTED:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper tables & series (reproduction output)", sep="=")
+    for line in common.EMITTED:
+        terminalreporter.write_line(line)

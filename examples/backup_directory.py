@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Byte-level end-to-end backup: real chunking, real payloads, verified restore.
+
+Generates an evolving file tree (the paper's software-release scenario:
+each version edits, appends to, adds and removes files), backs up every
+version through FastCDC chunking + HiDeStore, then restores each version and
+verifies the reassembled bytes equal the original tree byte-for-byte.
+
+Usage::
+
+    python examples/backup_directory.py
+"""
+
+import hashlib
+
+from repro import HiDeStore
+from repro.chunking import FastCDCChunker, concat_stream_bytes
+from repro.units import KiB, format_bytes
+from repro.workloads import FileTreeGenerator, FileTreeSpec
+
+
+def main() -> None:
+    spec = FileTreeSpec(files=12, mean_file_size=48 * KiB, versions=6, seed=20)
+    generator = FileTreeGenerator(spec)
+    chunker = FastCDCChunker(min_size=1024, avg_size=4096, max_size=16384)
+    system = HiDeStore(container_size=256 * KiB)
+
+    originals = {}
+    print("== backing up 6 versions of an evolving file tree ==")
+    for tag, blob in generator.version_blobs():
+        originals[tag] = hashlib.sha256(blob).hexdigest()
+        stream = chunker.chunk_stream([blob], tag=tag)
+        report = system.backup(stream)
+        print(
+            f"  {tag:9s} {format_bytes(report.logical_bytes):>10s} logical, "
+            f"{format_bytes(report.stored_bytes):>10s} stored, "
+            f"{report.duplicate_chunks}/{report.total_chunks} duplicates"
+        )
+
+    print(f"\ndedup ratio: {system.dedup_ratio:.2%}")
+
+    print("\n== verifying every version restores byte-identically ==")
+    for version_id in system.version_ids():
+        recipe = system.recipes.peek(version_id)
+        blob = concat_stream_bytes(system.restore_chunks(version_id))
+        digest = hashlib.sha256(blob).hexdigest()
+        ok = digest == originals[recipe.tag]
+        print(f"  v{version_id} ({recipe.tag}): {'OK' if ok else 'CORRUPT'}")
+        if not ok:
+            raise SystemExit(1)
+
+    print("\nAll versions verified — dedup and restore are lossless.")
+
+
+if __name__ == "__main__":
+    main()

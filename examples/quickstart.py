@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: back up a versioned workload with HiDeStore and restore it.
+
+Runs the scaled "kernel" workload (Table 1's first dataset) through
+HiDeStore, prints per-version deduplication reports, then restores the
+newest and the oldest version and compares their restore efficiency —
+the paper's headline: new versions stay physically local.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import HiDeStore, load_preset
+from repro.units import format_bytes
+
+
+def main() -> None:
+    workload = load_preset("kernel", versions=12)
+    system = HiDeStore()
+
+    print("== backing up 12 versions of the kernel-like workload ==")
+    for stream in workload.versions():
+        report = system.backup(stream)
+        print(
+            f"  {report.tag:12s} chunks={report.total_chunks:5d} "
+            f"unique={report.unique_chunks:5d} "
+            f"stored={format_bytes(report.stored_bytes):>10s} "
+            f"disk-index-lookups={report.disk_index_lookups}"
+        )
+
+    print(f"\ndeduplication ratio: {system.dedup_ratio:.2%}")
+    print(f"physical bytes:      {format_bytes(system.stored_bytes())}")
+    print(f"index table memory:  {system.report.index_memory_bytes} B (HiDeStore keeps none)")
+    print(f"T1/T2 scratch:       {format_bytes(system.transient_cache_bytes)}")
+
+    newest = system.version_ids()[-1]
+    for version in (newest, 1):
+        result = system.restore(version)
+        print(
+            f"\nrestore v{version}: {result.chunks} chunks, "
+            f"{format_bytes(result.logical_bytes)} in {result.container_reads} "
+            f"container reads -> speed factor {result.speed_factor:.2f} MB/read"
+        )
+
+    print(
+        "\nThe newest version needs far fewer container reads per MB than an "
+        "old one: HiDeStore moved every cold chunk out of the hot set, so "
+        "new backups stay physically contiguous."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Analysis harnesses: the §3 observation experiment and fragmentation probes."""
+
+from .containers import (
+    ContainerPopulation,
+    active_population,
+    archival_population,
+    utilization_histogram,
+)
+from .fragmentation import VersionFragmentation, fragmentation_growth, measure_fragmentation
+from .observation import ObservationResult, format_observation_table, run_observation
+from .suitability import SuitabilityReport, trace_suitability
+
+__all__ = [
+    "ContainerPopulation",
+    "active_population",
+    "archival_population",
+    "utilization_histogram",
+    "ObservationResult",
+    "VersionFragmentation",
+    "format_observation_table",
+    "fragmentation_growth",
+    "measure_fragmentation",
+    "run_observation",
+    "SuitabilityReport",
+    "trace_suitability",
+]

@@ -1,0 +1,134 @@
+"""Workload-suitability advisor (paper §4, last paragraph).
+
+    "For the workloads that are not included in this paper, we simply trace
+     the chunk distribution among versions and determine whether to use the
+     proposed scheme, which produces low overhead since we only need to
+     trace the metadata of the chunks."
+
+This module is that tracer.  It replays a workload's chunk metadata and
+measures the *reappearance-gap* distribution: when a chunk is absent from a
+version, how many versions later does it return (if ever)?  HiDeStore's
+double cache with ``history_depth = d`` deduplicates a returning chunk only
+if its gap is ≤ d, so the gap histogram directly yields:
+
+* the deduplication-ratio loss HiDeStore would incur at each history depth;
+* the smallest depth whose loss is below a tolerance — the recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..chunking.stream import BackupStream
+
+
+@dataclass
+class SuitabilityReport:
+    """Outcome of tracing a workload's chunk distribution."""
+
+    versions: int = 0
+    logical_bytes: int = 0
+    unique_bytes: int = 0
+    #: gap (in versions) -> bytes of chunks that reappeared after that gap.
+    #: Gap 1 means "absent for zero versions" never happens; a chunk present
+    #: in consecutive versions has gap 1 and is always deduplicated.
+    reappear_bytes_by_gap: Dict[int, int] = field(default_factory=dict)
+    #: bytes of adjacent-version duplicates (gap 1).
+    adjacent_duplicate_bytes: int = 0
+
+    @property
+    def exact_dedup_ratio(self) -> float:
+        if self.logical_bytes == 0:
+            return 0.0
+        return (self.logical_bytes - self.unique_bytes) / self.logical_bytes
+
+    def missed_bytes_at_depth(self, depth: int) -> int:
+        """Duplicate bytes HiDeStore would re-store at a given history depth.
+
+        A chunk returning after a gap ``g`` (absent ``g - 1`` versions) hits
+        the cache iff ``g - 1 <= depth - 1``, i.e. ``g <= depth``.  Misses
+        also re-seed the cache, so only the first return after a long gap is
+        lost; this estimate counts every long-gap return, making it an upper
+        bound on the loss.
+        """
+        return sum(
+            size for gap, size in self.reappear_bytes_by_gap.items() if gap > depth
+        )
+
+    def dedup_ratio_at_depth(self, depth: int) -> float:
+        """Estimated HiDeStore dedup ratio with ``history_depth = depth``."""
+        if self.logical_bytes == 0:
+            return 0.0
+        stored = self.unique_bytes + self.missed_bytes_at_depth(depth)
+        return (self.logical_bytes - stored) / self.logical_bytes
+
+    def recommended_depth(self, tolerance: float = 0.005, max_depth: int = 4) -> int:
+        """Smallest history depth whose ratio loss vs exact is ≤ tolerance."""
+        exact = self.exact_dedup_ratio
+        for depth in range(1, max_depth + 1):
+            if exact - self.dedup_ratio_at_depth(depth) <= tolerance:
+                return depth
+        return max_depth
+
+    def is_suitable(self, min_adjacent_redundancy: float = 0.5) -> bool:
+        """Whether the workload fits HiDeStore's design assumption.
+
+        Suitable means most redundancy is between *adjacent* versions —
+        the §3 observation.  Workloads whose duplicates mostly return after
+        long gaps (e.g. weekly-cycle datasets) would need a deep history.
+        """
+        duplicate_bytes = self.logical_bytes - self.unique_bytes
+        if duplicate_bytes == 0:
+            return False
+        return self.adjacent_duplicate_bytes / duplicate_bytes >= min_adjacent_redundancy
+
+    def summary(self) -> str:
+        """Human-readable advisory."""
+        lines = [
+            f"versions traced:        {self.versions}",
+            f"exact dedup ratio:      {self.exact_dedup_ratio:.2%}",
+        ]
+        for depth in (1, 2, 3):
+            lines.append(
+                f"est. ratio @ depth {depth}:   {self.dedup_ratio_at_depth(depth):.2%}"
+            )
+        depth = self.recommended_depth()
+        lines.append(f"recommended depth:      {depth}")
+        lines.append(
+            "suitable for HiDeStore: " + ("yes" if self.is_suitable() else "no")
+        )
+        return "\n".join(lines)
+
+
+def trace_suitability(streams: Iterable[BackupStream]) -> SuitabilityReport:
+    """Trace chunk metadata across versions (cheap: no payloads touched)."""
+    report = SuitabilityReport()
+    last_seen: Dict[bytes, int] = {}
+    sizes: Dict[bytes, int] = {}
+    version = 0
+    for stream in streams:
+        version += 1
+        current: Dict[bytes, int] = {}
+        for chunk in stream:
+            report.logical_bytes += chunk.size
+            if chunk.fingerprint in current:
+                # Intra-version repeat: always deduplicated, gap 0.
+                report.adjacent_duplicate_bytes += chunk.size
+                continue
+            current[chunk.fingerprint] = chunk.size
+            previous = last_seen.get(chunk.fingerprint)
+            if previous is None:
+                report.unique_bytes += chunk.size
+                sizes[chunk.fingerprint] = chunk.size
+            else:
+                gap = version - previous
+                report.reappear_bytes_by_gap[gap] = (
+                    report.reappear_bytes_by_gap.get(gap, 0) + chunk.size
+                )
+                if gap == 1:
+                    report.adjacent_duplicate_bytes += chunk.size
+        for fingerprint in current:
+            last_seen[fingerprint] = version
+    report.versions = version
+    return report

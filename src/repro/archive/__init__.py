@@ -1,0 +1,6 @@
+"""File-level archive layer: directory snapshots + partial restores."""
+
+from .directory import DirectoryArchive
+from .manifest import FileEntry, Manifest
+
+__all__ = ["DirectoryArchive", "FileEntry", "Manifest"]

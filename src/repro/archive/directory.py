@@ -1,0 +1,169 @@
+"""DirectoryArchive: file-level backup/restore over any backup system.
+
+Wraps a :class:`~repro.core.hidestore.HiDeStore` (or a traditional
+:class:`~repro.pipeline.system.BackupSystem`) with the tree-to-stream
+serialisation real backup agents perform: a snapshot is the concatenation
+of its files in sorted-path order, chunked content-defined, and a
+:class:`~repro.archive.manifest.Manifest` remembers where each file landed.
+
+The interesting capability is **partial restore**: pulling a single file
+out of a snapshot reads only the recipe-entry span covering it — a handful
+of container reads instead of the whole version.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..chunking.base import BaseChunker
+from ..chunking.fastcdc import FastCDCChunker
+from ..core.hidestore import HiDeStore
+from ..errors import ReproError, VersionNotFoundError
+from ..pipeline.system import BackupSystem
+from ..reports import BackupReport
+from .manifest import Manifest
+
+AnySystem = Union[BackupSystem, HiDeStore]
+
+
+class DirectoryArchive:
+    """File-granular snapshots over a chunk-granular backup system.
+
+    Args:
+        system: the underlying deduplicating store (HiDeStore by default).
+        chunker: content-defined chunker for the serialised stream.
+    """
+
+    def __init__(
+        self,
+        system: Optional[AnySystem] = None,
+        chunker: Optional[BaseChunker] = None,
+    ) -> None:
+        self.system = system if system is not None else HiDeStore()
+        self.chunker = chunker if chunker is not None else FastCDCChunker()
+        self.manifests: Dict[int, Manifest] = {}
+
+    # ------------------------------------------------------------------
+    # Backup
+    # ------------------------------------------------------------------
+    def backup_tree(self, tree: Mapping[str, bytes], tag: str = "") -> BackupReport:
+        """Snapshot an in-memory tree (``{relative path: bytes}``)."""
+        ordered: List[Tuple[str, bytes]] = [(p, tree[p]) for p in sorted(tree)]
+        if not ordered:
+            raise ReproError("cannot back up an empty tree")
+
+        def blocks() -> Iterable[bytes]:
+            for _path, data in ordered:
+                if data:
+                    yield data
+
+        stream = self.chunker.chunk_stream(blocks(), tag=tag)
+        report = self.system.backup(stream)
+        manifest = Manifest.build(
+            report.version_id,
+            tag or report.tag,
+            [(path, len(data)) for path, data in ordered],
+            [chunk.size for chunk in stream],
+        )
+        self.manifests[report.version_id] = manifest
+        return report
+
+    def backup_directory(self, root: str, tag: str = "") -> BackupReport:
+        """Snapshot a directory from disk."""
+        tree: Dict[str, bytes] = {}
+        for dirpath, _dirs, files in os.walk(root):
+            for name in files:
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as handle:
+                    tree[os.path.relpath(path, root)] = handle.read()
+        if not tree:
+            raise ReproError(f"no files under {root}")
+        return self.backup_tree(tree, tag=tag)
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def _manifest(self, version_id: int) -> Manifest:
+        manifest = self.manifests.get(version_id)
+        if manifest is None:
+            raise VersionNotFoundError(f"no manifest for version {version_id}")
+        return manifest
+
+    def restore_file(self, version_id: int, path: str) -> bytes:
+        """Partial restore: one file, reading only the containers it spans."""
+        manifest = self._manifest(version_id)
+        entry = manifest.entry(path)
+        if entry.size == 0:
+            return b""
+        chunks = self.system.restore_entry_range(
+            version_id, entry.first_entry, entry.last_entry
+        )
+        parts: List[bytes] = []
+        remaining = entry.size
+        skip = entry.skip_bytes
+        for chunk in chunks:
+            if chunk.data is None:
+                raise ReproError("archive restore needs payload-carrying chunks")
+            data = chunk.data
+            if skip:
+                drop = min(skip, len(data))
+                data = data[drop:]
+                skip -= drop
+            if not data:
+                continue
+            take = data[:remaining]
+            parts.append(take)
+            remaining -= len(take)
+            if remaining == 0:
+                break
+        if remaining:
+            raise ReproError(
+                f"short restore of {path!r}: {remaining} bytes missing"
+            )
+        return b"".join(parts)
+
+    def restore_tree(self, version_id: int) -> Dict[str, bytes]:
+        """Full restore: the whole snapshot as ``{relative path: bytes}``."""
+        manifest = self._manifest(version_id)
+        chunks = self.system.restore_chunks(version_id)
+        buffer = bytearray()
+        out: Dict[str, bytes] = {}
+        files = manifest.files()
+        index = 0
+        for chunk in chunks:
+            if chunk.data is None:
+                raise ReproError("archive restore needs payload-carrying chunks")
+            buffer.extend(chunk.data)
+            while index < len(files) and len(buffer) >= files[index].size:
+                entry = files[index]
+                out[entry.path] = bytes(buffer[: entry.size])
+                del buffer[: entry.size]
+                index += 1
+        while index < len(files) and files[index].size == 0:
+            out[files[index].path] = b""
+            index += 1
+        if index != len(files):
+            raise ReproError(
+                f"short restore: {len(files) - index} files missing"
+            )
+        return out
+
+    def write_tree(self, version_id: int, out_root: str) -> List[str]:
+        """Materialise a snapshot on disk; returns the written paths."""
+        tree = self.restore_tree(version_id)
+        written = []
+        for rel in sorted(tree):
+            path = os.path.join(out_root, rel)
+            os.makedirs(os.path.dirname(path) or out_root, exist_ok=True)
+            with open(path, "wb") as handle:
+                handle.write(tree[rel])
+            written.append(path)
+        return written
+
+    # ------------------------------------------------------------------
+    def versions(self) -> List[int]:
+        return sorted(self.manifests)
+
+    def list_files(self, version_id: int) -> List[str]:
+        return self._manifest(version_id).paths()

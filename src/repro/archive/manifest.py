@@ -1,0 +1,148 @@
+"""File manifests: mapping directory trees onto backup streams.
+
+A backup stream is the concatenation of a tree's files in sorted-path order
+(how real backup agents serialise a filesystem).  The manifest records, per
+file, its path, byte length and byte offset within the stream, plus — once
+the stream is chunked — the recipe-entry span covering it, enabling partial
+restores that read only the containers a single file touches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One file inside a snapshot."""
+
+    path: str
+    size: int
+    offset: int  # byte offset within the concatenated stream
+    #: recipe-entry span [first, last) covering this file's bytes, and the
+    #: byte offset of the file inside the first entry's chunk.
+    first_entry: int = 0
+    last_entry: int = 0
+    skip_bytes: int = 0
+
+
+class Manifest:
+    """The file table of one backed-up snapshot."""
+
+    def __init__(self, version_id: int, tag: str = "") -> None:
+        if version_id <= 0:
+            raise ReproError("manifest version IDs are positive")
+        self.version_id = version_id
+        self.tag = tag
+        self._files: Dict[str, FileEntry] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        version_id: int,
+        tag: str,
+        files: Iterable[Tuple[str, int]],
+        chunk_sizes: List[int],
+    ) -> "Manifest":
+        """Lay out files over the chunked stream.
+
+        Args:
+            files: (path, size) pairs in stream (sorted-path) order.
+            chunk_sizes: the version's recipe entry sizes, in order.
+        """
+        manifest = cls(version_id, tag)
+        # Prefix sums of chunk boundaries for offset -> entry translation.
+        boundaries: List[int] = [0]
+        for size in chunk_sizes:
+            boundaries.append(boundaries[-1] + size)
+        total = boundaries[-1]
+
+        offset = 0
+        for path, size in files:
+            if size < 0:
+                raise ReproError(f"negative size for {path!r}")
+            end = offset + size
+            if end > total:
+                raise ReproError(
+                    f"manifest overruns the stream: {path!r} ends at {end}, "
+                    f"stream is {total} bytes"
+                )
+            first = _entry_at(boundaries, offset)
+            last = _entry_at(boundaries, max(offset, end - 1)) + 1 if size else first
+            manifest._files[path] = FileEntry(
+                path=path,
+                size=size,
+                offset=offset,
+                first_entry=first,
+                last_entry=last,
+                skip_bytes=offset - boundaries[first],
+            )
+            offset = end
+        if offset != total:
+            raise ReproError(
+                f"manifest underruns the stream: files end at {offset}, "
+                f"stream is {total} bytes"
+            )
+        return manifest
+
+    # ------------------------------------------------------------------
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def entry(self, path: str) -> FileEntry:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise ReproError(
+                f"version {self.version_id} has no file {path!r}"
+            ) from None
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    def files(self) -> List[FileEntry]:
+        return [self._files[p] for p in self.paths()]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self._files.values())
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version_id": self.version_id,
+                "tag": self.tag,
+                "files": [
+                    [e.path, e.size, e.offset, e.first_entry, e.last_entry, e.skip_bytes]
+                    for e in self.files()
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            document = json.loads(text)
+            manifest = cls(document["version_id"], document.get("tag", ""))
+            for path, size, offset, first, last, skip in document["files"]:
+                manifest._files[path] = FileEntry(path, size, offset, first, last, skip)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ReproError(f"corrupt manifest: {exc}") from exc
+        return manifest
+
+
+def _entry_at(boundaries: List[int], byte_offset: int) -> int:
+    """Index of the recipe entry containing ``byte_offset`` (binary search)."""
+    import bisect
+
+    index = bisect.bisect_right(boundaries, byte_offset) - 1
+    return max(0, index)

@@ -1,0 +1,68 @@
+"""AE — Asymmetric Extremum content-defined chunking (Zhang et al., INFOCOM'15).
+
+AE declares a boundary when a byte position holds the *maximum* hash value
+seen so far and no larger value appears within the following fixed-size
+window.  Unlike Rabin-style schemes it needs no minimum-size clamp (the
+window supplies it naturally) and visits each byte once with a single
+comparison, making it one of the cheapest CDC algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import ChunkingError
+from .base import BaseChunker
+
+
+def _value_table(seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(32) for _ in range(256)]
+
+
+class AEChunker(BaseChunker):
+    """Asymmetric-extremum chunker.
+
+    Args:
+        avg_size: target average chunk size.  AE's expected chunk size is
+            ``window * (e - 1) ≈ 1.718 * window``, so the window is derived as
+            ``avg_size / (e - 1)``.
+        max_size: hard ceiling (AE itself has none; we add one so downstream
+            container packing has a bound).
+        seed: byte-value substitution table seed.
+    """
+
+    def __init__(
+        self,
+        avg_size: int = 8192,
+        max_size: int = 65536,
+        seed: int = 0xAE,
+    ) -> None:
+        window = max(1, int(avg_size / 1.71828))
+        super().__init__(min_size=window, avg_size=avg_size, max_size=max_size)
+        self.window = window
+        self._table = _value_table(seed)
+
+    def next_cut(self, data: memoryview, eof: bool) -> Optional[int]:
+        available = len(data)
+        if available == 0:
+            return None
+        limit = min(available, self.max_size)
+        table = self._table
+        window = self.window
+
+        buf = bytes(data[:limit])
+        max_value = -1
+        max_pos = 0
+        for pos in range(limit):
+            value = table[buf[pos]]
+            if value > max_value:
+                max_value = value
+                max_pos = pos
+            elif pos - max_pos >= window:
+                # max_pos is the extremum of its right window: cut after it.
+                return pos + 1
+        if limit == self.max_size:
+            return self.max_size
+        return available if eof else None

@@ -1,0 +1,130 @@
+"""Chunker interface and shared streaming split machinery.
+
+Every content-defined chunker in this package implements a single primitive,
+:meth:`BaseChunker.next_cut`: given a buffer that starts at a chunk boundary,
+return the length of the first chunk, or ``None`` when the buffer is too
+short to decide and more input may still arrive.  The base class turns that
+primitive into whole-buffer and streaming split APIs and enforces the
+min/max-size contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, List, Optional
+
+from ..errors import ChunkingError
+from .fingerprint import Fingerprinter
+from .stream import BackupStream, Chunk
+
+
+class BaseChunker(ABC):
+    """Abstract content-defined chunker.
+
+    Args:
+        min_size: smallest chunk the algorithm may emit (except the final
+            tail of a stream, which may be shorter).
+        avg_size: target average chunk size; subclasses derive their divisor
+            or mask from it.
+        max_size: hard ceiling; a cut is forced at this length.
+    """
+
+    def __init__(self, min_size: int, avg_size: int, max_size: int) -> None:
+        if not (0 < min_size <= avg_size <= max_size):
+            raise ChunkingError(
+                f"need 0 < min({min_size}) <= avg({avg_size}) <= max({max_size})"
+            )
+        self.min_size = min_size
+        self.avg_size = avg_size
+        self.max_size = max_size
+
+    @abstractmethod
+    def next_cut(self, data: memoryview, eof: bool) -> Optional[int]:
+        """Length of the first chunk in ``data``, or ``None`` if undecidable.
+
+        ``data`` always begins at a chunk boundary.  Implementations must
+        honour ``self.max_size`` (never return more) and, unless ``eof`` makes
+        the remainder a short tail, ``self.min_size``.  When ``eof`` is true
+        the whole buffer is final: implementations must return a cut (the
+        buffer length at most) rather than ``None``, unless the buffer is
+        empty.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived APIs
+    # ------------------------------------------------------------------
+    def split(self, data: bytes) -> List[bytes]:
+        """Split a complete in-memory buffer into chunk payloads."""
+        return list(self.iter_split(data))
+
+    def iter_split(self, data: bytes) -> Iterator[bytes]:
+        """Lazily split a complete in-memory buffer into chunk payloads."""
+        view = memoryview(data)
+        offset = 0
+        total = len(view)
+        while offset < total:
+            cut = self.next_cut(view[offset:], eof=True)
+            if cut is None or cut <= 0:
+                raise ChunkingError(
+                    f"{type(self).__name__}.next_cut returned {cut!r} at eof"
+                )
+            if cut > self.max_size:
+                raise ChunkingError(
+                    f"{type(self).__name__} produced an oversized cut: "
+                    f"{cut} > max {self.max_size}"
+                )
+            yield bytes(view[offset : offset + cut])
+            offset += cut
+
+    def split_stream(self, blocks: Iterable[bytes]) -> Iterator[bytes]:
+        """Split an iterable of byte blocks (e.g. file reads) into chunks.
+
+        Buffers only as much input as needed to decide the next boundary
+        (bounded by ``max_size``), so arbitrarily large inputs stream in
+        constant memory.
+        """
+        buffer = bytearray()
+        iterator = iter(blocks)
+        exhausted = False
+        while True:
+            while not exhausted and len(buffer) < self.max_size:
+                try:
+                    buffer.extend(next(iterator))
+                except StopIteration:
+                    exhausted = True
+            if not buffer:
+                return
+            cut = self.next_cut(memoryview(bytes(buffer)), eof=exhausted)
+            if cut is None:
+                if exhausted:
+                    raise ChunkingError(
+                        f"{type(self).__name__} refused to cut a final buffer"
+                    )
+                continue
+            yield bytes(buffer[:cut])
+            del buffer[:cut]
+
+    def chunk_bytes(
+        self, data: bytes, fingerprinter: Optional[Fingerprinter] = None
+    ) -> List[Chunk]:
+        """Split and fingerprint a buffer into :class:`Chunk` objects."""
+        fp = fingerprinter or Fingerprinter()
+        return [fp.chunk(piece) for piece in self.iter_split(data)]
+
+    def chunk_stream(
+        self,
+        blocks: Iterable[bytes],
+        tag: str = "",
+        fingerprinter: Optional[Fingerprinter] = None,
+    ) -> BackupStream:
+        """Split + fingerprint an iterable of byte blocks into a backup stream."""
+        fp = fingerprinter or Fingerprinter()
+        return BackupStream(
+            [fp.chunk(piece) for piece in self.split_stream(blocks)], tag=tag
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(min={self.min_size}, avg={self.avg_size}, "
+            f"max={self.max_size})"
+        )

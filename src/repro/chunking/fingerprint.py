@@ -1,0 +1,66 @@
+"""Fingerprinting: cryptographic digests over chunk payloads.
+
+The paper uses SHA-1 (20 bytes) and relies on the standard argument that a
+hash collision is far less likely than a hardware error.  We expose SHA-1 as
+the default plus MD5 and SHA-256 for experimentation; all are truncated or
+padded to a configurable width so index-size metrics stay comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict
+
+from ..errors import ChunkingError
+from ..units import FINGERPRINT_SIZE
+from .stream import Chunk
+
+_ALGORITHMS: Dict[str, Callable[[bytes], bytes]] = {
+    "sha1": lambda data: hashlib.sha1(data).digest(),
+    "md5": lambda data: hashlib.md5(data).digest(),
+    "sha256": lambda data: hashlib.sha256(data).digest(),
+}
+
+
+class Fingerprinter:
+    """Compute fixed-width fingerprints for chunk payloads.
+
+    Args:
+        algorithm: one of ``sha1`` (default, as in the paper), ``md5``,
+            ``sha256``.
+        width: output width in bytes.  Digests longer than ``width`` are
+            truncated; shorter ones are zero-padded.  Defaults to the paper's
+            20 bytes.
+    """
+
+    def __init__(self, algorithm: str = "sha1", width: int = FINGERPRINT_SIZE) -> None:
+        if algorithm not in _ALGORITHMS:
+            raise ChunkingError(
+                f"unknown fingerprint algorithm {algorithm!r}; "
+                f"choose from {sorted(_ALGORITHMS)}"
+            )
+        if width <= 0:
+            raise ChunkingError("fingerprint width must be positive")
+        self.algorithm = algorithm
+        self.width = width
+        self._digest = _ALGORITHMS[algorithm]
+
+    def fingerprint(self, data: bytes) -> bytes:
+        """Digest ``data`` to exactly ``self.width`` bytes."""
+        raw = self._digest(data)
+        if len(raw) >= self.width:
+            return raw[: self.width]
+        return raw.ljust(self.width, b"\x00")
+
+    def chunk(self, data: bytes) -> Chunk:
+        """Wrap a payload into a :class:`Chunk` with its fingerprint."""
+        return Chunk(self.fingerprint(data), len(data), data)
+
+
+#: Module-level default matching the paper (SHA-1, 20 bytes).
+DEFAULT_FINGERPRINTER = Fingerprinter()
+
+
+def sha1_fingerprint(data: bytes) -> bytes:
+    """Convenience wrapper: the paper's SHA-1 fingerprint of ``data``."""
+    return DEFAULT_FINGERPRINTER.fingerprint(data)

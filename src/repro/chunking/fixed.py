@@ -1,0 +1,32 @@
+"""Fixed-size chunking.
+
+The simplest chunker: cut every ``size`` bytes.  Fixed-size chunking suffers
+from the boundary-shift problem (one inserted byte re-chunks everything after
+it) which is exactly why the paper's systems use content-defined chunking;
+we keep it as the degenerate baseline and for unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ChunkingError
+from .base import BaseChunker
+
+
+class FixedChunker(BaseChunker):
+    """Cut the stream into equal ``size``-byte chunks (last one may be short)."""
+
+    def __init__(self, size: int = 8192) -> None:
+        if size <= 0:
+            raise ChunkingError("fixed chunk size must be positive")
+        super().__init__(min_size=size, avg_size=size, max_size=size)
+        self.size = size
+
+    def next_cut(self, data: memoryview, eof: bool) -> Optional[int]:
+        available = len(data)
+        if available >= self.size:
+            return self.size
+        if eof:
+            return available if available > 0 else None
+        return None

@@ -1,0 +1,92 @@
+"""Rabin-style rolling-hash content-defined chunking.
+
+This is the classic CDC scheme referenced by the paper ([26] LBFS): a hash is
+rolled over a fixed window; whenever ``hash & mask == magic`` the window end
+is declared a chunk boundary.  We use a multiplicative Karp–Rabin rolling
+hash over a 48-byte window with a randomized (but seeded, hence
+deterministic) byte-substitution table, which matches the boundary statistics
+of a true irreducible-polynomial Rabin fingerprint while staying tractable in
+pure Python.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import ChunkingError
+from .base import BaseChunker
+
+_MOD = 1 << 64
+_PRIME = 1099511628211  # FNV prime; odd, so invertible mod 2**64
+
+
+def _substitution_table(seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(63) for _ in range(256)]
+
+
+class RabinChunker(BaseChunker):
+    """Rolling-hash CDC with a fixed window.
+
+    Args:
+        min_size / avg_size / max_size: size contract; ``avg_size`` must be a
+            power of two because the boundary test is a mask comparison.
+        window: rolling window width in bytes (48, as in LBFS).
+        seed: seeds the byte substitution table; two chunkers with the same
+            seed cut identically.
+    """
+
+    def __init__(
+        self,
+        min_size: int = 2048,
+        avg_size: int = 8192,
+        max_size: int = 65536,
+        window: int = 48,
+        seed: int = 0x5EED,
+    ) -> None:
+        super().__init__(min_size, avg_size, max_size)
+        if avg_size & (avg_size - 1):
+            raise ChunkingError("avg_size must be a power of two for Rabin masks")
+        if window <= 0 or window > min_size:
+            raise ChunkingError("window must be positive and <= min_size")
+        self.window = window
+        self.mask = avg_size - 1
+        self.magic = self.mask  # boundary when low bits are all ones
+        self._table = _substitution_table(seed)
+        # Precompute PRIME**window mod 2**64 to remove the outgoing byte.
+        self._out_factor = pow(_PRIME, window, _MOD)
+
+    def next_cut(self, data: memoryview, eof: bool) -> Optional[int]:
+        available = len(data)
+        if available == 0:
+            return None
+        limit = min(available, self.max_size)
+        if limit < self.min_size:
+            return available if eof else None
+
+        table = self._table
+        mask = self.mask
+        magic = self.magic
+        window = self.window
+        out_factor = self._out_factor
+
+        # Warm the window over the last `window` bytes before min_size so the
+        # first boundary test happens exactly at offset min_size.
+        start = self.min_size - window
+        h = 0
+        buf = bytes(data[:limit])
+        for i in range(start, self.min_size):
+            h = (h * _PRIME + table[buf[i]]) % _MOD
+        pos = self.min_size
+        if (h & mask) == magic:
+            return pos
+        while pos < limit:
+            h = (h * _PRIME + table[buf[pos]] - out_factor * table[buf[pos - window]]) % _MOD
+            pos += 1
+            if (h & mask) == magic:
+                return pos
+        if limit == self.max_size:
+            return self.max_size
+        # Ran out of buffer before max_size.
+        return available if eof else None

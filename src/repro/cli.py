@@ -1,0 +1,393 @@
+"""``hidestore`` — a small CLI over the library for real directory backups.
+
+Commands:
+
+* ``hidestore backup <repo> <source-dir>`` — chunk (FastCDC) + dedup +
+  store a directory snapshot into the repository.
+* ``hidestore restore <repo> <version> <target-dir>`` — materialise a
+  stored version back into a directory.
+* ``hidestore versions <repo>`` — list stored versions.
+* ``hidestore stats <repo> [--detail]`` — dedup ratio, container counts,
+  sizes, optional per-version fragmentation table.
+* ``hidestore delete-oldest <repo>`` — expire the oldest version (GC-free).
+* ``hidestore verify <repo>`` — integrity-check every chunk reference.
+* research tooling: ``trace-generate`` / ``trace-stats`` / ``observe`` /
+  ``simulate`` (scheme×preset matrices to CSV).
+
+The repository layout on disk::
+
+    <repo>/containers/container-XXXXXXXX.hdsc
+    <repo>/recipes/recipe-XXXXXXXX.hdsr
+    <repo>/manifests/manifest-XXXXXXXX.txt   (file boundaries per version)
+
+File boundaries are kept in a plain-text manifest (name + byte length per
+file, concatenation order), so a restore can split the reassembled stream
+back into files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .chunking import FastCDCChunker
+from .core.checkpoint import load_checkpoint, save_checkpoint
+from .core.hidestore import HiDeStore
+from .core.verify import verify_system
+from .errors import ReproError
+from .storage.container_store import FileContainerStore
+from .storage.recipe import FileRecipeStore
+from .units import format_bytes
+
+
+def _repo_paths(repo: str) -> Tuple[str, str, str]:
+    return (
+        os.path.join(repo, "containers"),
+        os.path.join(repo, "recipes"),
+        os.path.join(repo, "manifests"),
+    )
+
+
+def _checkpoint_path(repo: str) -> str:
+    return os.path.join(repo, "checkpoint.json")
+
+
+def open_repository(repo: str, history_depth: int = 1, compress: bool = False) -> HiDeStore:
+    """Open (or initialise) a HiDeStore repository directory.
+
+    The sealed world lives in ``containers/`` and ``recipes/``; the volatile
+    state (T1 tables, active containers, deletion tags) is reloaded from
+    ``checkpoint.json`` — written after every CLI backup — so physical
+    locality and the version counter survive across invocations.
+    """
+    containers_dir, recipes_dir, manifests_dir = _repo_paths(repo)
+    os.makedirs(manifests_dir, exist_ok=True)
+    checkpoint = _checkpoint_path(repo)
+    if os.path.exists(checkpoint):
+        return load_checkpoint(
+            checkpoint,
+            FileContainerStore(containers_dir, compress=compress),
+            FileRecipeStore(recipes_dir),
+        )
+    store = HiDeStore(
+        container_store=FileContainerStore(containers_dir, compress=compress),
+        recipe_store=FileRecipeStore(recipes_dir),
+        history_depth=history_depth,
+    )
+    existing = store.recipes.version_ids()
+    if existing:
+        # Legacy repository without a checkpoint: the previous session must
+        # have retired the store; resume via recipe priming (§4.1).
+        store._next_version = existing[-1] + 1
+        store._retired = True
+    return store
+
+
+def _read_tree(source: str) -> List[Tuple[str, str]]:
+    """All files under ``source`` as (relative name, absolute path), sorted."""
+    entries = []
+    for root, _dirs, files in os.walk(source):
+        for name in files:
+            path = os.path.join(root, name)
+            entries.append((os.path.relpath(path, source), path))
+    entries.sort()
+    return entries
+
+
+def _stream_blocks(entries: List[Tuple[str, str]], block_size: int = 1 << 20):
+    for _rel, path in entries:
+        with open(path, "rb") as handle:
+            while True:
+                block = handle.read(block_size)
+                if not block:
+                    break
+                yield block
+
+
+def cmd_backup(args: argparse.Namespace) -> int:
+    """Chunk, deduplicate and store a directory snapshot."""
+    store = open_repository(args.repo, args.history_depth, compress=args.compress)
+    # A retired store cannot take further backups until its cache is rebuilt
+    # from the last recipe (§4.1's T1 prefetch, cross-session flavour).
+    if store._retired and store.recipes.latest_version() is not None:
+        store.prime_from_recipe()
+    else:
+        store._retired = False
+
+    entries = _read_tree(args.source)
+    if not entries:
+        print(f"error: no files under {args.source}", file=sys.stderr)
+        return 1
+    chunker = FastCDCChunker()
+    stream = chunker.chunk_stream(_stream_blocks(entries), tag=args.tag or "")
+    report = store.backup(stream)
+
+    manifest_path = os.path.join(
+        _repo_paths(args.repo)[2], f"manifest-{report.version_id:08d}.txt"
+    )
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        for rel, path in entries:
+            handle.write(f"{os.path.getsize(path)}\t{rel}\n")
+
+    # Persist the volatile state so the next invocation resumes seamlessly.
+    save_checkpoint(store, _checkpoint_path(args.repo))
+    print(
+        f"backed up version {report.version_id}: "
+        f"{report.total_chunks} chunks, {format_bytes(report.logical_bytes)} logical, "
+        f"{format_bytes(report.stored_bytes)} stored "
+        f"({report.duplicate_chunks} duplicates)"
+    )
+    return 0
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    """Materialise a stored version back into a directory."""
+    store = open_repository(args.repo)
+    manifest_path = os.path.join(
+        _repo_paths(args.repo)[2], f"manifest-{args.version:08d}.txt"
+    )
+    if not os.path.exists(manifest_path):
+        print(f"error: no manifest for version {args.version}", file=sys.stderr)
+        return 1
+    plan: List[Tuple[str, int]] = []
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            size_str, rel = line.rstrip("\n").split("\t", 1)
+            plan.append((rel, int(size_str)))
+
+    os.makedirs(args.target, exist_ok=True)
+    chunk_iter = store.restore_chunks(args.version)
+    buffer = bytearray()
+    restored = 0
+    for rel, size in plan:
+        while len(buffer) < size:
+            chunk = next(chunk_iter)
+            if chunk.data is None:
+                raise ReproError("repository chunk carries no payload")
+            buffer.extend(chunk.data)
+        out_path = os.path.join(args.target, rel)
+        os.makedirs(os.path.dirname(out_path) or args.target, exist_ok=True)
+        with open(out_path, "wb") as handle:
+            handle.write(bytes(buffer[:size]))
+        del buffer[:size]
+        restored += 1
+    print(f"restored version {args.version}: {restored} files into {args.target}")
+    return 0
+
+
+def cmd_versions(args: argparse.Namespace) -> int:
+    """List stored versions with tags and sizes."""
+    store = open_repository(args.repo)
+    for version_id in store.recipes.version_ids():
+        recipe = store.recipes.peek(version_id)
+        print(
+            f"version {version_id}: tag={recipe.tag!r} chunks={len(recipe)} "
+            f"logical={format_bytes(recipe.logical_size)}"
+        )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print repository statistics (optionally per-version detail)."""
+    store = open_repository(args.repo)
+    logical = sum(store.recipes.peek(v).logical_size for v in store.recipes.version_ids())
+    stored = store.containers.stored_bytes() + store.pool.hot_bytes()
+    ratio = 0.0 if logical == 0 else (logical - stored) / logical
+    print(f"versions:         {len(store.recipes.version_ids())}")
+    print(f"logical bytes:    {format_bytes(logical)}")
+    print(f"stored bytes:     {format_bytes(stored)}")
+    print(f"dedup ratio:      {ratio:.2%}")
+    print(f"containers:       {len(store.containers)} archival, "
+          f"{store.pool.container_count()} active")
+    if args.detail:
+        from .analysis import fragmentation_growth
+
+        print()
+        print(f"{'version':>8s} {'chunks':>8s} {'logical':>12s} "
+              f"{'containers':>11s} {'CFL':>6s} {'best sf':>8s}")
+        frags = {f.version_id: f for f in fragmentation_growth(store)}
+        for version_id in store.recipes.version_ids():
+            recipe = store.recipes.peek(version_id)
+            frag = frags[version_id]
+            print(f"{version_id:>8d} {len(recipe):>8d} "
+                  f"{format_bytes(recipe.logical_size):>12s} "
+                  f"{frag.containers_referenced:>11d} {frag.cfl:>6.2f} "
+                  f"{frag.best_speed_factor:>8.3f}")
+    return 0
+
+
+def cmd_delete_oldest(args: argparse.Namespace) -> int:
+    """Expire the oldest retained version, GC-free."""
+    store = open_repository(args.repo)
+    versions = store.recipes.version_ids()
+    if not versions:
+        print("error: repository is empty", file=sys.stderr)
+        return 1
+    stats = store.delete_oldest()
+    manifest_path = os.path.join(
+        _repo_paths(args.repo)[2], f"manifest-{versions[0]:08d}.txt"
+    )
+    if os.path.exists(manifest_path):
+        os.remove(manifest_path)
+    if os.path.exists(_checkpoint_path(args.repo)):
+        save_checkpoint(store, _checkpoint_path(args.repo))
+    print(
+        f"deleted version {versions[0]}: {stats.containers_deleted} containers, "
+        f"{format_bytes(stats.bytes_reclaimed)} reclaimed "
+        f"in {stats.delete_seconds * 1000:.2f} ms (no GC)"
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Integrity-check every chunk reference in the repository."""
+    store = open_repository(args.repo)
+    report = verify_system(store)
+    print(report.summary())
+    for issue in report.issues[:50]:
+        print(f"  - {issue}")
+    return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
+# Research tooling: traces, observation, experiment matrices
+# ----------------------------------------------------------------------
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    """Write a preset workload out as a trace file."""
+    from .workloads import load_preset, write_trace
+
+    workload = load_preset(
+        args.preset, versions=args.versions, chunks_per_version=args.chunks
+    )
+    count = write_trace(args.output, workload.versions())
+    print(f"wrote {count} versions of {args.preset!r} to {args.output}")
+    return 0
+
+
+def cmd_trace_stats(args: argparse.Namespace) -> int:
+    """Print the §4 suitability report for a trace."""
+    from .analysis import trace_suitability
+    from .workloads import iter_trace
+
+    report = trace_suitability(iter_trace(args.trace))
+    print(report.summary())
+    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    """Run the §3 version-tag experiment over a trace."""
+    from .analysis import format_observation_table, run_observation
+    from .workloads import iter_trace
+
+    result = run_observation(iter_trace(args.trace))
+    print(format_observation_table(result, max_tags=args.tags))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run a scheme×preset experiment matrix, optionally to CSV."""
+    from .experiments import run_matrix, write_csv
+    from .units import parse_bytes
+
+    schemes = {name: {} for name in args.schemes.split(",")}
+    rows = run_matrix(
+        schemes,
+        args.presets.split(","),
+        versions=args.versions,
+        chunks_per_version=args.chunks,
+        container_size=parse_bytes(args.container_size),
+        progress=lambda row: print(
+            f"  {row['scheme']:>10s} on {row['workload']:<9s} "
+            f"ratio={row['dedup_ratio']:.4f} sf(last)={row['speed_factor_last']:.3f}"
+        ),
+    )
+    if args.output:
+        write_csv(rows, args.output)
+        print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="hidestore",
+        description="HiDeStore reproduction: physical-locality dedup backup",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("backup", help="back up a directory snapshot")
+    p.add_argument("repo")
+    p.add_argument("source")
+    p.add_argument("--tag", default=None)
+    p.add_argument("--history-depth", type=int, default=1)
+    p.add_argument("--compress", action="store_true",
+                   help="zlib-compress container files on disk")
+    p.set_defaults(func=cmd_backup)
+
+    p = sub.add_parser("restore", help="restore a version into a directory")
+    p.add_argument("repo")
+    p.add_argument("version", type=int)
+    p.add_argument("target")
+    p.set_defaults(func=cmd_restore)
+
+    p = sub.add_parser("versions", help="list stored versions")
+    p.add_argument("repo")
+    p.set_defaults(func=cmd_versions)
+
+    p = sub.add_parser("stats", help="repository statistics")
+    p.add_argument("repo")
+    p.add_argument("--detail", action="store_true",
+                   help="per-version fragmentation table")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("delete-oldest", help="expire the oldest version")
+    p.add_argument("repo")
+    p.set_defaults(func=cmd_delete_oldest)
+
+    p = sub.add_parser("verify", help="integrity-check the repository")
+    p.add_argument("repo")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("trace-generate", help="write a preset workload as a trace file")
+    p.add_argument("preset", choices=["kernel", "gcc", "fslhomes", "macos"])
+    p.add_argument("output")
+    p.add_argument("--versions", type=int, default=None)
+    p.add_argument("--chunks", type=int, default=None)
+    p.set_defaults(func=cmd_trace_generate)
+
+    p = sub.add_parser("trace-stats", help="suitability report for a trace (§4)")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_trace_stats)
+
+    p = sub.add_parser("observe", help="the §3 version-tag experiment on a trace")
+    p.add_argument("trace")
+    p.add_argument("--tags", type=int, default=8)
+    p.set_defaults(func=cmd_observe)
+
+    p = sub.add_parser("simulate", help="run a scheme×preset matrix, optional CSV")
+    p.add_argument("--schemes", default="ddfs,sparse,silo,hidestore")
+    p.add_argument("--presets", default="kernel")
+    p.add_argument("--versions", type=int, default=None)
+    p.add_argument("--chunks", type=int, default=1024)
+    p.add_argument("--container-size", default="512KiB")
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""HiDeStore checkpointing: persist and reload the volatile state.
+
+The sealed world — archival containers and recipes — already lives in the
+(possibly file-backed) stores.  What would be lost on process exit is the
+*volatile* state: the T1 fingerprint tables, the active containers and
+their location map, the deletion tags and the version counter.  A
+checkpoint captures exactly that, taken at a version boundary (between
+backups), so a store can be closed and reopened **without** retiring —
+unlike :meth:`HiDeStore.retire`, a checkpointed system resumes with its hot
+set still active and its physical locality intact.
+
+The format is a single JSON document; active-container payloads ride along
+as base64 of the same binary container format the file store uses.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from typing import Optional
+
+from ..errors import ReproError
+from ..storage.container_store import ContainerStore, pack_container, unpack_container
+from ..storage.recipe import RecipeStore
+from .double_cache import CacheEntry
+from .hidestore import HiDeStore
+
+_FORMAT = "hidestore-checkpoint-v1"
+
+
+def save_checkpoint(system: HiDeStore, path: str) -> None:
+    """Write the volatile state of ``system`` to ``path``.
+
+    Must be called between backups (never mid-version).  The archival
+    container store and recipe store are *not* captured — persist those with
+    file-backed stores.
+    """
+    system.run_maintenance()  # queued filter work is not serialised
+    tables = system.cache.export_tables()  # raises if mid-version
+    document = {
+        "format": _FORMAT,
+        "next_version": system._next_version,
+        "history_depth": system.history_depth,
+        "compaction_threshold": system.pool.compaction_threshold,
+        "container_size": system.container_size,
+        "lookup_unit_bytes": system.lookup_unit_bytes,
+        "deferred_maintenance": system.deferred_maintenance,
+        "flatten_every": system.flatten_every,
+        "retired": system._retired,
+        "next_container_id": system.containers.next_id,
+        "cache_tables": [
+            {fp.hex(): [entry.size, entry.cid] for fp, entry in table.items()}
+            for table in tables
+        ],
+        "active_containers": [
+            base64.b64encode(pack_container(container)).decode("ascii")
+            for container in system.pool.iter_containers()
+        ],
+        "deletion_tags": {
+            str(version): system.deletion.containers_for(version)
+            for version in system.deletion.tagged_versions()
+        },
+        "report": {
+            "versions": system.report.versions,
+            "logical_bytes": system.report.logical_bytes,
+            "stored_bytes": system.report.stored_bytes,
+            "disk_index_lookups": system.report.disk_index_lookups,
+        },
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(
+    path: str,
+    container_store: Optional[ContainerStore] = None,
+    recipe_store: Optional[RecipeStore] = None,
+) -> HiDeStore:
+    """Rebuild a :class:`HiDeStore` from a checkpoint + its durable stores.
+
+    Args:
+        path: checkpoint file written by :func:`save_checkpoint`.
+        container_store: the archival store the system was using (pass the
+            same :class:`~repro.storage.container_store.FileContainerStore`
+            root); defaults to a fresh in-memory store (tests).
+        recipe_store: likewise for recipes.
+    """
+    if not os.path.exists(path):
+        raise ReproError(f"no checkpoint at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise ReproError(f"{path}: not a {_FORMAT} file")
+
+    system = HiDeStore(
+        container_store=container_store,
+        recipe_store=recipe_store,
+        history_depth=document["history_depth"],
+        compaction_threshold=document["compaction_threshold"],
+        container_size=document["container_size"],
+        lookup_unit_bytes=document["lookup_unit_bytes"],
+        deferred_maintenance=document.get("deferred_maintenance", False),
+        flatten_every=document.get("flatten_every", 0),
+    )
+    system._next_version = document["next_version"]
+    system._retired = document["retired"]
+    system.containers.reserve_ids(document["next_container_id"] - 1)
+
+    # Volatile cache tables.
+    tables = [
+        {
+            bytes.fromhex(fp_hex): CacheEntry(size=entry[0], cid=entry[1])
+            for fp_hex, entry in table.items()
+        }
+        for table in document["cache_tables"]
+    ]
+    system.cache.restore_tables(tables)
+
+    # Active containers + location map.
+    for blob_b64 in document["active_containers"]:
+        container = unpack_container(base64.b64decode(blob_b64))
+        system.pool._active[container.container_id] = container
+        for fp in container.fingerprints():
+            system.pool.location[fp] = container.container_id
+
+    # Deletion tags.
+    for version, cids in document["deletion_tags"].items():
+        system.deletion.tag_containers(int(version), list(cids))
+
+    # Cumulative report (per-version history is not checkpointed).
+    report = document["report"]
+    system.report.versions = report["versions"]
+    system.report.logical_bytes = report["logical_bytes"]
+    system.report.stored_bytes = report["stored_bytes"]
+    system.report.disk_index_lookups = report["disk_index_lookups"]
+    return system

@@ -1,0 +1,143 @@
+"""Multi-client HiDeStore: per-user version chains over one container store.
+
+The paper motivates HiDeStore with archival services that "backup all
+versions of the software and the system snapshots *for users*" — plural.
+HiDeStore's double cache is inherently per-stream (it deduplicates a
+version against *its own* predecessor), so a service hosts one HiDeStore
+namespace per client, all allocating containers from a single shared store
+(one I/O ledger, globally unique container IDs, one physical pool of disks).
+
+Semantics worth knowing:
+
+* deduplication is **within** a client's history; identical data pushed by
+  two clients is stored twice (the paper's design has no cross-client
+  index, and adding one would reintroduce exactly the full-index costs
+  HiDeStore removes);
+* per-client deletion stays GC-free: a client's archival containers hold
+  only that client's cold chunks, so expiring one client's oldest version
+  touches nobody else;
+* the shared ledger means speed factors and lookup counts aggregate
+  naturally across clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..chunking.stream import BackupStream
+from ..errors import ReproError, VersionNotFoundError
+from ..reports import BackupReport
+from ..storage.container_store import ContainerStore, MemoryContainerStore
+from ..storage.io_model import IOStats
+from ..storage.recipe import MemoryRecipeStore
+from ..units import CONTAINER_SIZE
+from .hidestore import HiDeStore
+
+
+class MultiClientHiDeStore:
+    """A HiDeStore namespace per client over one shared container store.
+
+    Args:
+        container_size: shared container capacity.
+        container_store: the shared backing store (defaults to in-memory).
+        default_history_depth: history depth for newly created clients.
+    """
+
+    def __init__(
+        self,
+        container_size: int = CONTAINER_SIZE,
+        container_store: Optional[ContainerStore] = None,
+        default_history_depth: int = 1,
+    ) -> None:
+        self.io = IOStats()
+        self.containers = (
+            container_store
+            if container_store is not None
+            else MemoryContainerStore(container_size, self.io)
+        )
+        self.containers.stats = self.io
+        self.container_size = container_size
+        self.default_history_depth = default_history_depth
+        self._clients: Dict[str, HiDeStore] = {}
+
+    # ------------------------------------------------------------------
+    def client(self, name: str, history_depth: Optional[int] = None) -> HiDeStore:
+        """Get (or create) a client's namespace."""
+        if not name:
+            raise ReproError("client names must be non-empty")
+        system = self._clients.get(name)
+        if system is None:
+            system = HiDeStore(
+                container_store=self.containers,
+                recipe_store=MemoryRecipeStore(self.io),
+                history_depth=(
+                    history_depth if history_depth is not None else self.default_history_depth
+                ),
+                container_size=self.container_size,
+            )
+            # One ledger for the whole service: the constructor pointed the
+            # shared store at the client's private ledger — undo that.
+            system.io = self.io
+            self.containers.stats = self.io
+            system.recipes.stats = self.io
+            self._clients[name] = system
+        elif history_depth is not None and system.history_depth != history_depth:
+            raise ReproError(
+                f"client {name!r} already exists with history depth "
+                f"{system.history_depth}"
+            )
+        return system
+
+    def clients(self) -> List[str]:
+        return sorted(self._clients)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._clients
+
+    # ------------------------------------------------------------------
+    # Convenience pass-throughs
+    # ------------------------------------------------------------------
+    def backup(self, name: str, stream: BackupStream) -> BackupReport:
+        """Back up one version for ``name`` (creating the client if new)."""
+        return self.client(name).backup(stream)
+
+    def restore(self, name: str, version_id: int):
+        if name not in self._clients:
+            raise VersionNotFoundError(f"unknown client {name!r}")
+        return self._clients[name].restore(version_id)
+
+    def restore_chunks(self, name: str, version_id: int) -> Iterator:
+        if name not in self._clients:
+            raise VersionNotFoundError(f"unknown client {name!r}")
+        return self._clients[name].restore_chunks(version_id)
+
+    def delete_oldest(self, name: str):
+        if name not in self._clients:
+            raise VersionNotFoundError(f"unknown client {name!r}")
+        return self._clients[name].delete_oldest()
+
+    # ------------------------------------------------------------------
+    # Service-level accounting
+    # ------------------------------------------------------------------
+    def stored_bytes(self) -> int:
+        """Physical payload bytes across all clients (archival + active)."""
+        active = sum(s.pool.hot_bytes() for s in self._clients.values())
+        return self.containers.stored_bytes() + active
+
+    def logical_bytes(self) -> int:
+        return sum(s.report.logical_bytes for s in self._clients.values())
+
+    @property
+    def dedup_ratio(self) -> float:
+        logical = self.logical_bytes()
+        if logical == 0:
+            return 0.0
+        stored = sum(s.report.stored_bytes for s in self._clients.values())
+        return (logical - stored) / logical
+
+    def per_client_report(self) -> List[Tuple[str, int, float]]:
+        """(client, versions, dedup ratio) rows for dashboards."""
+        return [
+            (name, system.report.versions, system.dedup_ratio)
+            for name, system in sorted(self._clients.items())
+        ]

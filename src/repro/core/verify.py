@@ -1,0 +1,140 @@
+"""Integrity verification ("fsck") for backup systems.
+
+Walks every retained recipe and checks that each chunk reference resolves to
+a container actually holding that fingerprint with the recorded size, plus
+HiDeStore-specific invariants (active-location map consistency, archival
+deletion tags pointing at real containers, chain references in range).
+
+Used by tests, the CLI's ``verify`` command, and available to library users
+as ``verify_system(system)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from ..pipeline.system import BackupSystem
+from ..storage.recipe import ACTIVE_CID
+from .hidestore import HiDeStore
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of an integrity walk."""
+
+    versions_checked: int = 0
+    entries_checked: int = 0
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def note(self, issue: str) -> None:
+        self.issues.append(issue)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.issues)} issue(s)"
+        return (
+            f"verified {self.versions_checked} versions / "
+            f"{self.entries_checked} chunk references: {status}"
+        )
+
+
+def _check_entry(report, fp, size, container, where) -> None:
+    if fp not in container:
+        report.note(f"{where}: container {container.container_id} lacks {fp.hex()[:8]}")
+        return
+    slot = container.get(fp)
+    if slot.size != size:
+        report.note(
+            f"{where}: size mismatch for {fp.hex()[:8]} "
+            f"(recipe {size}, container {slot.size})"
+        )
+
+
+def verify_traditional(system: BackupSystem) -> VerificationReport:
+    """Verify a :class:`BackupSystem`: every recipe entry must resolve."""
+    report = VerificationReport()
+    for version_id in system.recipes.version_ids():
+        recipe = system.recipes.peek(version_id)
+        report.versions_checked += 1
+        for i, entry in enumerate(recipe.entries):
+            report.entries_checked += 1
+            where = f"v{version_id}[{i}]"
+            if entry.cid <= 0:
+                report.note(f"{where}: non-positive cid {entry.cid} in traditional recipe")
+                continue
+            if entry.cid not in system.containers:
+                report.note(f"{where}: missing container {entry.cid}")
+                continue
+            container = system.containers.peek(entry.cid)
+            _check_entry(report, entry.fingerprint, entry.size, container, where)
+    return report
+
+
+def verify_hidestore(system: HiDeStore) -> VerificationReport:
+    """Verify a :class:`HiDeStore`: chains, active map, deletion tags."""
+    report = VerificationReport()
+    newest = system.recipes.latest_version()
+    versions = system.recipes.version_ids()
+    version_set = set(versions)
+
+    for version_id in versions:
+        recipe = system.recipes.peek(version_id)
+        report.versions_checked += 1
+        for i, entry in enumerate(recipe.entries):
+            report.entries_checked += 1
+            where = f"v{version_id}[{i}]"
+            cid = entry.cid
+            if cid < 0:
+                target = -cid
+                if newest is not None and target > newest:
+                    # Stale pointer past the newest version: legal, means
+                    # "active" — resolved through the location map below.
+                    cid = ACTIVE_CID
+                elif target not in version_set:
+                    report.note(f"{where}: chain points at deleted recipe R_{target}")
+                    continue
+                else:
+                    continue  # chained: the target recipe is checked itself
+            if cid == ACTIVE_CID:
+                location = system.pool.location.get(entry.fingerprint)
+                if location is None:
+                    report.note(f"{where}: active chunk {entry.fingerprint.hex()[:8]} "
+                                "not in the location map")
+                    continue
+                if location not in system.pool:
+                    report.note(f"{where}: location map points at missing active "
+                                f"container {location}")
+                    continue
+                container = system.pool.peek(location)
+                _check_entry(report, entry.fingerprint, entry.size, container, where)
+            else:
+                if cid not in system.containers:
+                    report.note(f"{where}: missing archival container {cid}")
+                    continue
+                container = system.containers.peek(cid)
+                _check_entry(report, entry.fingerprint, entry.size, container, where)
+
+    # Location map entries must exist in their active containers.
+    for fp, cid in system.pool.location.items():
+        if cid not in system.pool:
+            report.note(f"location map: {fp.hex()[:8]} -> missing container {cid}")
+        elif fp not in system.pool.peek(cid):
+            report.note(f"location map: container {cid} lacks {fp.hex()[:8]}")
+
+    # Deletion tags must reference stored containers.
+    for version in system.deletion.tagged_versions():
+        for cid in system.deletion.containers_for(version):
+            if cid not in system.containers:
+                report.note(f"deletion tag v{version}: missing container {cid}")
+    return report
+
+
+def verify_system(system: Union[BackupSystem, HiDeStore]) -> VerificationReport:
+    """Dispatch on the system type."""
+    if isinstance(system, HiDeStore):
+        return verify_hidestore(system)
+    return verify_traditional(system)

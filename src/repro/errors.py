@@ -1,0 +1,56 @@
+"""Exception hierarchy for the HiDeStore reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ChunkingError(ReproError):
+    """Invalid chunker configuration or a malformed input stream."""
+
+
+class StorageError(ReproError):
+    """Container or recipe storage failure."""
+
+
+class ContainerFullError(StorageError):
+    """A chunk did not fit into the container it was directed to."""
+
+
+class UnknownContainerError(StorageError):
+    """A container ID was referenced that the store does not hold."""
+
+
+class UnknownChunkError(StorageError):
+    """A fingerprint was requested from a container that does not hold it."""
+
+
+class RecipeError(StorageError):
+    """A recipe is missing, malformed, or its chain cannot be resolved."""
+
+
+class IndexError_(ReproError):
+    """Fingerprint-index failure (name avoids shadowing builtin IndexError)."""
+
+
+class RestoreError(ReproError):
+    """The restore pipeline could not reassemble the requested version."""
+
+
+class VersionNotFoundError(ReproError):
+    """A backup version ID was referenced that the system does not know."""
+
+
+class DeletionError(ReproError):
+    """An expired-version deletion request was invalid (e.g. not the oldest)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid synthetic-workload or trace configuration."""

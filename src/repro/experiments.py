@@ -1,0 +1,180 @@
+"""Experiment matrix runner: sweep schemes × workloads, collect all metrics.
+
+The benchmark files each regenerate one paper table/figure; this module is
+the general tool behind them for downstream users: run any set of schemes
+over any set of workloads and get every §5 metric back as flat rows —
+ready for CSV, pandas, or plotting.
+
+Example::
+
+    from repro.experiments import run_matrix, write_csv
+
+    rows = run_matrix(
+        schemes={"ddfs": {}, "hidestore": {}},
+        presets=["kernel", "gcc"],
+        versions=16,
+        container_size=512 * 1024,
+    )
+    write_csv(rows, "results.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from .pipeline.schemes import build_scheme
+from .units import CONTAINER_SIZE
+from .workloads import SyntheticWorkload, history_depth_for, load_preset
+
+#: Column order of the result rows (stable for CSV consumers).
+COLUMNS = [
+    "scheme",
+    "workload",
+    "versions",
+    "logical_bytes",
+    "stored_bytes",
+    "dedup_ratio",
+    "lookups_per_gb",
+    "index_bytes_per_mb",
+    "speed_factor_first",
+    "speed_factor_mid",
+    "speed_factor_last",
+    "containers",
+    "backup_seconds",
+]
+
+
+def _restore_points(version_ids: Sequence[int]) -> Dict[str, int]:
+    return {
+        "first": version_ids[0],
+        "mid": version_ids[len(version_ids) // 2],
+        "last": version_ids[-1],
+    }
+
+
+def run_single(
+    scheme: str,
+    workload: Union[str, SyntheticWorkload],
+    scheme_kwargs: Optional[Mapping] = None,
+    versions: Optional[int] = None,
+    chunks_per_version: Optional[int] = None,
+    container_size: int = CONTAINER_SIZE,
+) -> Dict[str, object]:
+    """Run one (scheme, workload) cell; returns a flat metric row."""
+    kwargs = dict(scheme_kwargs or {})
+    if isinstance(workload, str):
+        if scheme == "hidestore":
+            kwargs.setdefault("history_depth", history_depth_for(workload))
+        name = workload
+        workload = load_preset(workload, versions=versions, chunks_per_version=chunks_per_version)
+    else:
+        name = workload.spec.name
+    system = build_scheme(scheme, container_size=container_size, **kwargs)
+
+    started = time.perf_counter()
+    for stream in workload.versions():
+        system.backup(stream)
+    backup_seconds = time.perf_counter() - started
+
+    version_ids = system.version_ids()
+    points = _restore_points(version_ids)
+    speed = {
+        label: system.restore(version).speed_factor
+        for label, version in points.items()
+    }
+    report = system.report
+    return {
+        "scheme": scheme,
+        "workload": name,
+        "versions": report.versions,
+        "logical_bytes": report.logical_bytes,
+        "stored_bytes": report.stored_bytes,
+        "dedup_ratio": report.dedup_ratio,
+        "lookups_per_gb": report.lookups_per_gb,
+        "index_bytes_per_mb": report.index_bytes_per_mb,
+        "speed_factor_first": speed["first"],
+        "speed_factor_mid": speed["mid"],
+        "speed_factor_last": speed["last"],
+        "containers": len(system.containers),
+        "backup_seconds": backup_seconds,
+    }
+
+
+def run_matrix(
+    schemes: Mapping[str, Mapping],
+    presets: Iterable[Union[str, SyntheticWorkload]],
+    versions: Optional[int] = None,
+    chunks_per_version: Optional[int] = None,
+    container_size: int = CONTAINER_SIZE,
+    progress=None,
+    jobs: int = 1,
+) -> List[Dict[str, object]]:
+    """Run every (scheme, workload) combination.
+
+    Args:
+        schemes: scheme name -> extra kwargs for its factory.
+        presets: preset names (or prebuilt workloads).
+        progress: optional callable receiving each finished row.
+        jobs: worker processes (1 = in-process).  Parallel runs require
+            preset *names* (picklable cells); prebuilt workload objects fall
+            back to in-process execution.
+    """
+    cells = [
+        (scheme, preset, kwargs)
+        for preset in presets
+        for scheme, kwargs in schemes.items()
+    ]
+    rows: List[Dict[str, object]] = []
+    parallelisable = jobs > 1 and all(isinstance(c[1], str) for c in cells)
+    if parallelisable:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    run_single, scheme, preset,
+                    scheme_kwargs=kwargs, versions=versions,
+                    chunks_per_version=chunks_per_version,
+                    container_size=container_size,
+                )
+                for scheme, preset, kwargs in cells
+            ]
+            for future in futures:
+                row = future.result()
+                rows.append(row)
+                if progress is not None:
+                    progress(row)
+        return rows
+    for scheme, preset, kwargs in cells:
+        row = run_single(
+            scheme,
+            preset,
+            scheme_kwargs=kwargs,
+            versions=versions,
+            chunks_per_version=chunks_per_version,
+            container_size=container_size,
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return rows
+
+
+def write_csv(rows: Iterable[Mapping[str, object]], path: str) -> int:
+    """Write result rows to CSV (stable column order); returns row count."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=COLUMNS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in COLUMNS})
+            count += 1
+    return count
+
+
+def read_csv(path: str) -> List[Dict[str, str]]:
+    """Read back a results CSV (values as strings)."""
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))

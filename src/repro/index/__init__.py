@@ -1,0 +1,52 @@
+"""Fingerprint indexes: the deduplication decision layer.
+
+Implements the schemes the paper compares against (DDFS, Sparse Indexing,
+SiLo) plus an exact full index; HiDeStore's double-hash fingerprint cache
+lives in :mod:`repro.core` because it is the paper's contribution rather
+than a substrate.
+"""
+
+from .base import FingerprintIndex, IndexStats
+from .blc import BLCIndex
+from .bloom import BloomFilter
+from .chunkstash import ChunkStashIndex
+from .ddfs import DDFSIndex
+from .extreme_binning import ExtremeBinningIndex
+from .full_index import ExactFullIndex
+from .silo import SiLoIndex
+from .sparse import SparseIndex
+
+__all__ = [
+    "BLCIndex",
+    "BloomFilter",
+    "ChunkStashIndex",
+    "DDFSIndex",
+    "ExtremeBinningIndex",
+    "ExactFullIndex",
+    "FingerprintIndex",
+    "IndexStats",
+    "SiLoIndex",
+    "SparseIndex",
+    "make_index",
+]
+
+_INDEXES = {
+    "exact": ExactFullIndex,
+    "ddfs": DDFSIndex,
+    "blc": BLCIndex,
+    "binning": ExtremeBinningIndex,
+    "chunkstash": ChunkStashIndex,
+    "sparse": SparseIndex,
+    "silo": SiLoIndex,
+}
+
+
+def make_index(name: str, **kwargs) -> FingerprintIndex:
+    """Construct an index by name (``exact``/``ddfs``/``sparse``/``silo``)."""
+    try:
+        cls = _INDEXES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown index {name!r}; choose from {sorted(_INDEXES)}"
+        ) from None
+    return cls(**kwargs)

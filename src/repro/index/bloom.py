@@ -1,0 +1,71 @@
+"""A classic partitioned Bloom filter (DDFS's in-memory "summary vector").
+
+Zhu et al. use a Bloom filter so that lookups for *unique* chunks almost
+never touch the on-disk index: no false negatives, tunable false-positive
+rate.  We implement k independent hash functions by slicing the (already
+uniformly distributed) fingerprint and mixing with per-function salts, over a
+single bit array backed by a ``bytearray``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import IndexError_
+
+
+def _mix(value: int, salt: int) -> int:
+    """Cheap 64-bit mix (splitmix64 finalizer) of value with a salt."""
+    z = (value + salt * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over byte-string keys.
+
+    Args:
+        expected_items: sizing target.
+        false_positive_rate: target FP rate at ``expected_items`` insertions.
+    """
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01) -> None:
+        if expected_items <= 0:
+            raise IndexError_("expected_items must be positive")
+        if not (0.0 < false_positive_rate < 1.0):
+            raise IndexError_("false_positive_rate must be in (0, 1)")
+        bits = int(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2))
+        self.num_bits = max(64, bits)
+        self.num_hashes = max(1, round(self.num_bits / expected_items * math.log(2)))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.count = 0
+        self.expected_items = expected_items
+        self.false_positive_rate = false_positive_rate
+
+    def _positions(self, key: bytes):
+        base = int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+        extra = int.from_bytes(key[8:16].ljust(8, b"\x00"), "big")
+        for i in range(self.num_hashes):
+            yield _mix(base ^ extra, i + 1) % self.num_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.count += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+
+    @property
+    def size_bytes(self) -> int:
+        """Resident size of the bit array."""
+        return len(self._bits)
+
+    @property
+    def estimated_fp_rate(self) -> float:
+        """Theoretical FP rate at the current fill level."""
+        if self.count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes

@@ -1,0 +1,24 @@
+"""Metric definitions used across benchmarks, exactly as the paper defines them."""
+
+from .dedup import dedup_ratio, exact_dedup_ratio, index_bytes_per_mb, lookups_per_gb
+from .restore import chunk_fragmentation_level, containers_referenced, speed_factor
+from .throughput import (
+    modeled_backup_seconds,
+    modeled_backup_throughput,
+    modeled_restore_seconds,
+    modeled_restore_throughput,
+)
+
+__all__ = [
+    "chunk_fragmentation_level",
+    "containers_referenced",
+    "dedup_ratio",
+    "exact_dedup_ratio",
+    "index_bytes_per_mb",
+    "lookups_per_gb",
+    "speed_factor",
+    "modeled_backup_seconds",
+    "modeled_backup_throughput",
+    "modeled_restore_seconds",
+    "modeled_restore_throughput",
+]

@@ -1,0 +1,43 @@
+"""Deduplication-side metrics (Table 1, Figures 8-10 definitions)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..chunking.stream import BackupStream
+from ..units import GiB, MiB
+
+
+def dedup_ratio(logical_bytes: int, stored_bytes: int) -> float:
+    """Eliminated bytes over logical bytes — the paper's §5.2.1 definition."""
+    if logical_bytes <= 0:
+        return 0.0
+    return (logical_bytes - stored_bytes) / logical_bytes
+
+
+def exact_dedup_ratio(streams: Iterable[BackupStream]) -> float:
+    """Ground-truth dedup ratio of a workload (what exact dedup achieves)."""
+    total = 0
+    unique = 0
+    seen = set()
+    for stream in streams:
+        for chunk in stream:
+            total += chunk.size
+            if chunk.fingerprint not in seen:
+                seen.add(chunk.fingerprint)
+                unique += chunk.size
+    return dedup_ratio(total, unique)
+
+
+def lookups_per_gb(disk_lookups: int, logical_bytes: int) -> float:
+    """On-disk index probes per GB of deduplicated data (Fig. 9)."""
+    if logical_bytes <= 0:
+        return 0.0
+    return disk_lookups / (logical_bytes / GiB)
+
+
+def index_bytes_per_mb(index_bytes: int, logical_bytes: int) -> float:
+    """Resident index bytes per MB of deduplicated data (Fig. 10)."""
+    if logical_bytes <= 0:
+        return 0.0
+    return index_bytes / (logical_bytes / MiB)

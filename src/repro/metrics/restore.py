@@ -1,0 +1,45 @@
+"""Restore-side metrics (Figure 11 and the CFL diagnostic)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from ..storage.recipe import Recipe, RecipeEntry
+from ..units import CONTAINER_SIZE, MiB
+
+
+def speed_factor(logical_bytes: int, container_reads: int) -> float:
+    """MB restored per container read — the paper's §5.3 metric.
+
+    Higher is better; with 4 MiB containers the theoretical ceiling is 4.0
+    (every byte of every read container is useful).
+    """
+    if container_reads <= 0:
+        return 0.0
+    return (logical_bytes / MiB) / container_reads
+
+
+def chunk_fragmentation_level(
+    entries: Iterable[RecipeEntry], container_bytes: int = CONTAINER_SIZE
+) -> float:
+    """CFL: optimal container count over actual referenced containers.
+
+    1.0 means the version is perfectly packed; values sink toward 0 as the
+    version's chunks scatter over more containers (Nam et al.'s metric,
+    paper §2.3/§6).  Only positive CIDs are counted — resolve recipes first.
+    """
+    logical = 0
+    referenced: Set[int] = set()
+    for entry in entries:
+        logical += entry.size
+        if entry.cid > 0:
+            referenced.add(entry.cid)
+    if not referenced:
+        return 1.0
+    optimal = max(1, -(-logical // container_bytes))  # ceil
+    return min(1.0, optimal / len(referenced))
+
+
+def containers_referenced(recipe: Recipe) -> int:
+    """Distinct containers a (resolved) recipe touches."""
+    return len({e.cid for e in recipe.entries if e.cid > 0})

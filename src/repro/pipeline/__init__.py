@@ -1,0 +1,21 @@
+"""Backup/restore pipeline: the Destor-equivalent platform layer.
+
+:class:`~repro.pipeline.system.BackupSystem` assembles index + rewriter +
+stores into the traditional dedup pipeline; :mod:`~repro.pipeline.schemes`
+names the exact configurations the paper evaluates.
+"""
+
+from ..reports import BackupReport, SystemReport
+from .gc import GCDeletionManager, GCStats
+from .schemes import SCHEMES, build_scheme
+from .system import BackupSystem
+
+__all__ = [
+    "BackupReport",
+    "BackupSystem",
+    "GCDeletionManager",
+    "GCStats",
+    "SCHEMES",
+    "SystemReport",
+    "build_scheme",
+]

@@ -1,0 +1,254 @@
+"""Minimal SVG chart generation (no third-party plotting dependencies).
+
+The benchmark suite prints the paper's tables; this module turns the same
+series into figure images so the reproduction can be compared with the
+paper visually.  Two chart types cover every figure in the paper:
+
+* :func:`line_chart` — Figures 3, 9, 11 (series over versions);
+* :func:`bar_chart` — Figures 8, 10, 12 (grouped bars per dataset/scheme).
+
+The output is plain SVG 1.1, viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import ReproError
+
+#: Default categorical palette (colour-blind-safe Okabe-Ito).
+PALETTE = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+]
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_L = 70
+_MARGIN_R = 20
+_MARGIN_T = 46
+_MARGIN_B = 52
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    step = 10 ** math.floor(math.log10(span / max(1, count)))
+    for multiplier in (1, 2, 2.5, 5, 10, 20):
+        if span / (step * multiplier) <= count:
+            step *= multiplier
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    value = start
+    while value <= high + step * 0.5:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+class _Canvas:
+    """Accumulates SVG elements."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self.parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            'font-family="sans-serif">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+
+    def text(self, x, y, s, size=12, anchor="middle", weight="normal", color="#222"):
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" font-weight="{weight}" '
+            f'fill="{color}">{_escape(s)}</text>'
+        )
+
+    def line(self, x1, y1, x2, y2, color="#999", width=1, dash=None):
+        extra = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{extra}/>'
+        )
+
+    def polyline(self, points, color, width=2):
+        joined = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{joined}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x, y, r, color):
+        self.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>'
+        )
+
+    def rect(self, x, y, w, h, color):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}"/>'
+        )
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def _frame(canvas: _Canvas, title: str, xlabel: str, ylabel: str,
+           y_ticks: Sequence[float], y_to_px) -> Tuple[float, float]:
+    plot_w = canvas.width - _MARGIN_L - _MARGIN_R
+    plot_h = canvas.height - _MARGIN_T - _MARGIN_B
+    canvas.text(canvas.width / 2, 24, title, size=15, weight="bold")
+    canvas.text(canvas.width / 2, canvas.height - 12, xlabel, size=12)
+    canvas.parts.append(
+        f'<text x="16" y="{_MARGIN_T + plot_h / 2:.1f}" font-size="12" '
+        f'text-anchor="middle" fill="#222" '
+        f'transform="rotate(-90 16 {_MARGIN_T + plot_h / 2:.1f})">'
+        f"{_escape(ylabel)}</text>"
+    )
+    # Axes + horizontal grid.
+    canvas.line(_MARGIN_L, _MARGIN_T, _MARGIN_L, _MARGIN_T + plot_h, "#222")
+    canvas.line(_MARGIN_L, _MARGIN_T + plot_h, _MARGIN_L + plot_w,
+                _MARGIN_T + plot_h, "#222")
+    for tick in y_ticks:
+        y = y_to_px(tick)
+        canvas.line(_MARGIN_L, y, _MARGIN_L + plot_w, y, "#e5e5e5")
+        canvas.text(_MARGIN_L - 8, y + 4, _format_tick(tick), size=10, anchor="end")
+    return plot_w, plot_h
+
+
+def _legend(canvas: _Canvas, names: Sequence[str], colors: Sequence[str]) -> None:
+    x = _MARGIN_L + 6
+    y = _MARGIN_T + 6
+    for name, color in zip(names, colors):
+        canvas.rect(x, y, 12, 12, color)
+        canvas.text(x + 16, y + 10, name, size=11, anchor="start")
+        y += 16
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    path: Optional[str] = None,
+    colors: Optional[Sequence[str]] = None,
+) -> str:
+    """Render named (x, y) series as an SVG line chart.
+
+    Returns the SVG text; writes it to ``path`` when given.
+    """
+    if not series or not any(series.values()):
+        raise ReproError("line_chart needs at least one non-empty series")
+    colors = list(colors or PALETTE)
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_ticks = _nice_ticks(min(0.0, min(ys)), max(ys))
+    y_low, y_high = y_ticks[0], y_ticks[-1]
+    if x_high == x_low:
+        x_high = x_low + 1
+
+    canvas = _Canvas(_WIDTH, _HEIGHT)
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def x_px(x): return _MARGIN_L + (x - x_low) / (x_high - x_low) * plot_w
+    def y_px(y): return _MARGIN_T + plot_h - (y - y_low) / (y_high - y_low) * plot_h
+
+    _frame(canvas, title, xlabel, ylabel, y_ticks, y_px)
+    for tick in _nice_ticks(x_low, x_high, 8):
+        if x_low <= tick <= x_high:
+            canvas.line(x_px(tick), _MARGIN_T + plot_h, x_px(tick),
+                        _MARGIN_T + plot_h + 4, "#222")
+            canvas.text(x_px(tick), _MARGIN_T + plot_h + 16, _format_tick(tick), size=10)
+
+    for i, (name, points) in enumerate(series.items()):
+        color = colors[i % len(colors)]
+        pixel_points = [(x_px(x), y_px(y)) for x, y in sorted(points)]
+        canvas.polyline(pixel_points, color)
+        for x, y in pixel_points:
+            canvas.circle(x, y, 2.5, color)
+    _legend(canvas, list(series), colors)
+
+    svg = canvas.render()
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+    return svg
+
+
+def bar_chart(
+    categories: Sequence[str],
+    groups: Dict[str, Sequence[float]],
+    title: str,
+    ylabel: str,
+    path: Optional[str] = None,
+    colors: Optional[Sequence[str]] = None,
+) -> str:
+    """Render grouped bars: one cluster per category, one bar per group.
+
+    Returns the SVG text; writes it to ``path`` when given.
+    """
+    if not categories or not groups:
+        raise ReproError("bar_chart needs categories and groups")
+    for name, values in groups.items():
+        if len(values) != len(categories):
+            raise ReproError(
+                f"group {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    colors = list(colors or PALETTE)
+    all_values = [v for values in groups.values() for v in values]
+    y_ticks = _nice_ticks(min(0.0, min(all_values)), max(all_values))
+    y_low, y_high = y_ticks[0], y_ticks[-1]
+
+    canvas = _Canvas(_WIDTH, _HEIGHT)
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def y_px(y): return _MARGIN_T + plot_h - (y - y_low) / (y_high - y_low) * plot_h
+
+    _frame(canvas, title, "", ylabel, y_ticks, y_px)
+    cluster_w = plot_w / len(categories)
+    bar_w = cluster_w * 0.8 / len(groups)
+    for c, category in enumerate(categories):
+        base_x = _MARGIN_L + c * cluster_w + cluster_w * 0.1
+        for g, (name, values) in enumerate(groups.items()):
+            value = values[c]
+            top = y_px(max(0.0, value))
+            bottom = y_px(min(0.0, value))
+            canvas.rect(base_x + g * bar_w, top, bar_w * 0.92,
+                        max(0.5, bottom - top), colors[g % len(colors)])
+        canvas.text(base_x + cluster_w * 0.4, _MARGIN_T + plot_h + 16,
+                    category, size=10)
+    _legend(canvas, list(groups), colors)
+
+    svg = canvas.render()
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+    return svg

@@ -1,0 +1,68 @@
+"""Report dataclasses returned by the backup/restore pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .units import GiB, MiB
+
+
+@dataclass
+class BackupReport:
+    """Outcome of deduplicating one backup version."""
+
+    version_id: int
+    tag: str
+    total_chunks: int = 0
+    duplicate_chunks: int = 0
+    unique_chunks: int = 0  # chunks physically written (incl. rewrites)
+    rewritten_chunks: int = 0
+    logical_bytes: int = 0
+    stored_bytes: int = 0  # bytes physically written (incl. rewrites)
+    disk_index_lookups: int = 0
+    containers_written: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def dedup_eliminated_bytes(self) -> int:
+        return self.logical_bytes - self.stored_bytes
+
+    @property
+    def lookups_per_gb(self) -> float:
+        """On-disk index probes per GB of logical data (Fig. 9 metric)."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return self.disk_index_lookups / (self.logical_bytes / GiB)
+
+
+@dataclass
+class SystemReport:
+    """Cumulative system-level metrics across all versions backed up."""
+
+    versions: int = 0
+    logical_bytes: int = 0
+    stored_bytes: int = 0
+    disk_index_lookups: int = 0
+    index_memory_bytes: int = 0
+    per_version: List[BackupReport] = field(default_factory=list)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Eliminated bytes over logical bytes (the paper's Table 1 metric)."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return (self.logical_bytes - self.stored_bytes) / self.logical_bytes
+
+    @property
+    def lookups_per_gb(self) -> float:
+        if self.logical_bytes == 0:
+            return 0.0
+        return self.disk_index_lookups / (self.logical_bytes / GiB)
+
+    @property
+    def index_bytes_per_mb(self) -> float:
+        """Resident index bytes per MB of logical data (Fig. 10 metric)."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return self.index_memory_bytes / (self.logical_bytes / MiB)

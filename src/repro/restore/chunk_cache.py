@@ -1,0 +1,65 @@
+"""Chunk-granularity LRU restore cache.
+
+Instead of pinning whole 4 MiB containers, cache individual chunks with a
+byte budget ([9, 20, 22] in the paper).  On a miss the whole container is
+read (that's the I/O unit) and *all* its chunks are offered to the cache;
+eviction is per chunk, so memory is spent only on bytes that may still be
+needed — better than container caching once containers hold few useful
+chunks, which is the late-version fragmentation regime.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Sequence, Tuple
+
+from ..chunking.stream import Chunk
+from ..errors import RestoreError
+from ..storage.recipe import RecipeEntry
+from ..units import MiB
+from .base import ContainerReader, RestoreAlgorithm
+
+
+class ChunkCacheRestore(RestoreAlgorithm):
+    """Byte-budgeted LRU cache of individual chunks.
+
+    Args:
+        cache_bytes: total payload budget (default 256 MiB, comparable to a
+            64-container cache).
+    """
+
+    name = "chunk-lru"
+
+    def __init__(self, cache_bytes: int = 256 * MiB) -> None:
+        if cache_bytes <= 0:
+            raise RestoreError("cache_bytes must be positive")
+        self.cache_bytes = cache_bytes
+
+    def restore(
+        self, entries: Sequence[RecipeEntry], reader: ContainerReader
+    ) -> Iterator[Chunk]:
+        self._check_positive_cids(entries)
+        cache: "OrderedDict[bytes, Chunk]" = OrderedDict()
+        used = 0
+        for entry in entries:
+            chunk = cache.get(entry.fingerprint)
+            if chunk is not None:
+                cache.move_to_end(entry.fingerprint)
+                yield chunk
+                continue
+            container = reader(entry.cid)
+            for stored in container.chunks():
+                if stored.fingerprint in cache:
+                    cache.move_to_end(stored.fingerprint)
+                    continue
+                cache[stored.fingerprint] = stored
+                used += stored.size
+            while used > self.cache_bytes and cache:
+                _, evicted = cache.popitem(last=False)
+                used -= evicted.size
+            chunk = cache.get(entry.fingerprint)
+            if chunk is None:
+                # Pathological: the needed chunk itself was evicted (cache
+                # smaller than one container) — serve straight from the read.
+                chunk = container.get_chunk(entry.fingerprint)
+            yield chunk

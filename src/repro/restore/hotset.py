@@ -1,0 +1,46 @@
+"""Hot-set restore: one pass over the needed containers, unlimited assembly.
+
+HiDeStore's §4.2 observation — "all these chunks are hot chunks, which will
+be prefetched together during reading" — implies the natural restore plan
+for a version whose chunks are physically clustered: read every referenced
+container exactly once, in first-need order, assembling the whole version
+in memory.  This is FAA with an unbounded area, packaged as its own
+algorithm so benchmarks can quantify what the clustering is worth when the
+general-purpose restore cache is small.
+
+Memory cost: one version's payload (exactly the working set the paper's
+backup phase already assumes fits, since T1/T2 hold a version's metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from ..chunking.stream import Chunk
+from ..storage.recipe import RecipeEntry
+from .base import ContainerReader, RestoreAlgorithm
+
+
+class HotSetRestore(RestoreAlgorithm):
+    """Read each referenced container exactly once; assemble everything."""
+
+    name = "hotset"
+
+    def restore(
+        self, entries: Sequence[RecipeEntry], reader: ContainerReader
+    ) -> Iterator[Chunk]:
+        self._check_positive_cids(entries)
+        needed: Dict[int, List[int]] = {}
+        order: List[int] = []
+        for i, entry in enumerate(entries):
+            if entry.cid not in needed:
+                needed[entry.cid] = []
+                order.append(entry.cid)
+            needed[entry.cid].append(i)
+        assembled: Dict[int, Chunk] = {}
+        for cid in order:
+            container = reader(cid)
+            for i in needed[cid]:
+                assembled[i] = container.get_chunk(entries[i].fingerprint)
+        for i in range(len(entries)):
+            yield assembled[i]

@@ -1,0 +1,78 @@
+"""Belady-optimal container cache — an offline upper bound for ablations.
+
+Not in the paper's comparison set, but useful to bound how much *any*
+container-granularity caching could ever help a given layout: with the whole
+recipe known, evict the cached container whose next use is farthest in the
+future.  The gap between a scheme and this bound separates "bad caching"
+from "bad physical locality" — HiDeStore attacks the latter, so its layouts
+show small gaps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Deque, Dict, Iterator, List, Sequence
+
+from collections import deque
+
+from ..chunking.stream import Chunk
+from ..errors import RestoreError
+from ..storage.container import Container
+from ..storage.recipe import RecipeEntry
+from .base import ContainerReader, RestoreAlgorithm
+
+
+class OptimalContainerCacheRestore(RestoreAlgorithm):
+    """Belady (farthest-next-use) eviction over whole containers."""
+
+    name = "optimal"
+
+    def __init__(self, cache_containers: int = 64) -> None:
+        if cache_containers <= 0:
+            raise RestoreError("cache_containers must be positive")
+        self.cache_containers = cache_containers
+
+    def restore(
+        self, entries: Sequence[RecipeEntry], reader: ContainerReader
+    ) -> Iterator[Chunk]:
+        self._check_positive_cids(entries)
+        n = len(entries)
+        # Precompute, per container, the queue of positions where it is used.
+        uses: Dict[int, Deque[int]] = defaultdict(deque)
+        for i, entry in enumerate(entries):
+            uses[entry.cid].append(i)
+
+        INFINITY = n + 1
+
+        def next_use(cid: int, after: int) -> int:
+            queue = uses[cid]
+            while queue and queue[0] <= after:
+                queue.popleft()
+            return queue[0] if queue else INFINITY
+
+        cache: Dict[int, Container] = {}
+        # Max-heap (negated) of (next_use, cid); entries may be stale and are
+        # lazily validated on pop.
+        heap: List = []
+
+        for i, entry in enumerate(entries):
+            cid = entry.cid
+            container = cache.get(cid)
+            if container is None:
+                container = reader(cid)
+                if len(cache) >= self.cache_containers:
+                    # Evict the cached container used farthest in the future.
+                    while heap:
+                        neg_use, candidate = heapq.heappop(heap)
+                        if candidate not in cache:
+                            continue
+                        actual = next_use(candidate, i - 1)
+                        if -neg_use != actual:
+                            heapq.heappush(heap, (-actual, candidate))
+                            continue
+                        del cache[candidate]
+                        break
+                cache[cid] = container
+            heapq.heappush(heap, (-next_use(cid, i), cid))
+            yield container.get_chunk(entry.fingerprint)

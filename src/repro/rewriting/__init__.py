@@ -1,0 +1,46 @@
+"""Rewriting schemes: the paper's locality-vs-ratio baselines.
+
+These are the schemes HiDeStore is compared against in Figures 8 and 11:
+they *do* improve restore locality, but only by re-storing duplicate chunks,
+which is exactly the deduplication-ratio loss HiDeStore avoids.
+"""
+
+from .base import Rewriter, RewriteStats
+from .capping import CappingRewriter
+from .cbr import CBRRewriter
+from .cfl import CFLRewriter
+from .fbw import FBWRewriter
+from .greedy_capping import GreedyCappingRewriter
+from .none import NoRewriter
+
+__all__ = [
+    "CBRRewriter",
+    "CFLRewriter",
+    "CappingRewriter",
+    "FBWRewriter",
+    "GreedyCappingRewriter",
+    "NoRewriter",
+    "RewriteStats",
+    "Rewriter",
+    "make_rewriter",
+]
+
+_REWRITERS = {
+    "none": NoRewriter,
+    "capping": CappingRewriter,
+    "cbr": CBRRewriter,
+    "cfl": CFLRewriter,
+    "fbw": FBWRewriter,
+    "greedy-capping": GreedyCappingRewriter,
+}
+
+
+def make_rewriter(name: str, **kwargs) -> Rewriter:
+    """Construct a rewriter by name (``none``/``capping``/``cbr``/``cfl``/``fbw``)."""
+    try:
+        cls = _REWRITERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown rewriter {name!r}; choose from {sorted(_REWRITERS)}"
+        ) from None
+    return cls(**kwargs)

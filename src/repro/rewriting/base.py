@@ -1,0 +1,73 @@
+"""Rewriting interface: trading deduplication ratio for physical locality.
+
+A rewriter inspects a whole version's chunks *after* index classification
+and may flip any duplicate ("reference container X") into a rewrite ("store
+a fresh copy"), clustering the version's data into fewer, newer containers.
+Every flip stores a duplicate byte — the deduplication-ratio loss Figure 8
+charges these schemes with.
+
+Contract: :meth:`decide` receives the chunk list and the index's lookup
+results (``cid`` or ``None``) and returns a same-length list where each
+element is either the (possibly kept) ``cid`` or ``None`` meaning "write".
+A rewriter may never invent a duplicate (``None`` in, ``None`` out).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..chunking.stream import Chunk
+from ..errors import ReproError
+
+
+@dataclass
+class RewriteStats:
+    """Aggregate rewrite accounting across all versions."""
+
+    duplicate_chunks: int = 0  # duplicates seen
+    rewritten_chunks: int = 0  # duplicates flipped to writes
+    rewritten_bytes: int = 0
+
+    @property
+    def rewrite_fraction(self) -> float:
+        """Share of duplicate chunks that were rewritten."""
+        if self.duplicate_chunks == 0:
+            return 0.0
+        return self.rewritten_chunks / self.duplicate_chunks
+
+
+class Rewriter(ABC):
+    """Base class for rewrite policies."""
+
+    def __init__(self) -> None:
+        self.stats = RewriteStats()
+
+    def begin_version(self, version_id: int, tag: str = "") -> None:
+        """Hook before a version's decisions. Optional."""
+
+    @abstractmethod
+    def decide(
+        self, chunks: Sequence[Chunk], lookups: Sequence[Optional[int]]
+    ) -> List[Optional[int]]:
+        """Return final placement decisions (see module docstring)."""
+
+    def end_version(self) -> None:
+        """Hook after a version's decisions. Optional."""
+
+    # ------------------------------------------------------------------
+    def _validate(self, chunks: Sequence[Chunk], lookups: Sequence[Optional[int]]) -> None:
+        if len(chunks) != len(lookups):
+            raise ReproError(
+                f"{type(self).__name__}: {len(chunks)} chunks but {len(lookups)} lookups"
+            )
+
+    def _note(self, chunk: Chunk, looked_up: Optional[int], decided: Optional[int]) -> None:
+        """Book-keeping helper: call once per chunk with in/out decisions."""
+        if looked_up is None:
+            return
+        self.stats.duplicate_chunks += 1
+        if decided is None:
+            self.stats.rewritten_chunks += 1
+            self.stats.rewritten_bytes += chunk.size

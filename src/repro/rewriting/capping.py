@@ -1,0 +1,77 @@
+"""Capping (Lillibridge, Eshghi & Bhagwat, FAST'13).
+
+The stream is processed in fixed-size segments (20 MB in the paper).  Within
+a segment, the old containers referenced by duplicates are ranked by how many
+of the segment's chunks they supply; only the top ``cap`` containers may be
+referenced.  Duplicates pointing at any container below the cap are rewritten.
+This bounds the number of container reads a restore of this segment can ever
+need to ``cap + (new containers written)``, at the cost of re-storing the
+chunks of the evicted containers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..chunking.stream import Chunk
+from ..errors import ReproError
+from ..units import MiB
+from .base import Rewriter
+
+
+class CappingRewriter(Rewriter):
+    """Classic fixed-cap segment rewriting.
+
+    Args:
+        cap: maximum number of old containers a segment may reference.
+        segment_bytes: segment size over which the cap applies (20 MB default,
+            as in the original paper).
+    """
+
+    def __init__(self, cap: int = 20, segment_bytes: int = 20 * MiB) -> None:
+        super().__init__()
+        if cap <= 0:
+            raise ReproError("capping level must be positive")
+        if segment_bytes <= 0:
+            raise ReproError("segment_bytes must be positive")
+        self.cap = cap
+        self.segment_bytes = segment_bytes
+
+    def decide(
+        self, chunks: Sequence[Chunk], lookups: Sequence[Optional[int]]
+    ) -> List[Optional[int]]:
+        self._validate(chunks, lookups)
+        decisions: List[Optional[int]] = [None] * len(chunks)
+        start = 0
+        consumed = 0
+        for i, chunk in enumerate(chunks):
+            consumed += chunk.size
+            if consumed >= self.segment_bytes or i == len(chunks) - 1:
+                self._decide_segment(chunks, lookups, decisions, start, i + 1)
+                start = i + 1
+                consumed = 0
+        return decisions
+
+    def _decide_segment(
+        self,
+        chunks: Sequence[Chunk],
+        lookups: Sequence[Optional[int]],
+        decisions: List[Optional[int]],
+        lo: int,
+        hi: int,
+    ) -> None:
+        # Rank referenced old containers by the number of chunks they supply.
+        votes: Dict[int, int] = {}
+        for i in range(lo, hi):
+            cid = lookups[i]
+            if cid is not None:
+                votes[cid] = votes.get(cid, 0) + 1
+        ranked = sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))
+        allowed = {cid for cid, _ in ranked[: self.cap]}
+        for i in range(lo, hi):
+            cid = lookups[i]
+            if cid is not None and cid in allowed:
+                decisions[i] = cid
+            else:
+                decisions[i] = None
+            self._note(chunks[i], cid, decisions[i])

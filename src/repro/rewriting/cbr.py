@@ -1,0 +1,104 @@
+"""CBR — Context-Based Rewriting (Kaczmarczyk et al., SYSTOR'12).
+
+For each duplicate chunk, CBR compares the chunk's *stream context* (the
+bytes that follow it in the backup stream) with its *disk context* (the
+container that holds it).  If the container contributes little to the
+stream context — i.e. reading it during restore would mostly fetch useless
+bytes — the chunk is a good rewrite candidate.  Rewrites are limited to a
+small budget (5% of duplicate bytes in the original paper) so the
+deduplication-ratio loss stays bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..chunking.stream import Chunk
+from ..errors import ReproError
+from ..units import CONTAINER_SIZE, MiB
+from .base import Rewriter
+
+
+class CBRRewriter(Rewriter):
+    """Context-based rewriting with a rewrite budget.
+
+    Args:
+        stream_context_bytes: look-forward window defining the stream context
+            (5 MB in the original paper).
+        minimal_utility: rewrite a duplicate only if its container's *rewrite
+            utility* — the fraction of the container useless to the stream
+            context — is at least this value (0.7 default).
+        rewrite_budget: maximum fraction of duplicate bytes that may be
+            rewritten per version (0.05 default).
+        container_bytes: container capacity used for utility computation.
+    """
+
+    def __init__(
+        self,
+        stream_context_bytes: int = 5 * MiB,
+        minimal_utility: float = 0.7,
+        rewrite_budget: float = 0.05,
+        container_bytes: int = CONTAINER_SIZE,
+    ) -> None:
+        super().__init__()
+        if stream_context_bytes <= 0 or container_bytes <= 0:
+            raise ReproError("context and container sizes must be positive")
+        if not (0.0 <= minimal_utility <= 1.0):
+            raise ReproError("minimal_utility must be within [0, 1]")
+        if not (0.0 <= rewrite_budget <= 1.0):
+            raise ReproError("rewrite_budget must be within [0, 1]")
+        self.stream_context_bytes = stream_context_bytes
+        self.minimal_utility = minimal_utility
+        self.rewrite_budget = rewrite_budget
+        self.container_bytes = container_bytes
+
+    def decide(
+        self, chunks: Sequence[Chunk], lookups: Sequence[Optional[int]]
+    ) -> List[Optional[int]]:
+        self._validate(chunks, lookups)
+        n = len(chunks)
+        decisions: List[Optional[int]] = list(lookups)
+
+        duplicate_bytes = sum(c.size for c, cid in zip(chunks, lookups) if cid is not None)
+        budget_bytes = int(duplicate_bytes * self.rewrite_budget)
+        spent = 0
+
+        # Sliding stream context: bytes each container contributes within the
+        # look-forward window starting at every duplicate chunk.  We advance a
+        # two-pointer window; container_bytes_in_window tracks contributions.
+        contribution: Dict[int, int] = {}
+        window_end = 0
+        window_bytes = 0
+
+        for i in range(n):
+            # Grow the window to cover stream_context_bytes ahead of chunk i.
+            while window_end < n and window_bytes < self.stream_context_bytes:
+                cid = lookups[window_end]
+                size = chunks[window_end].size
+                if cid is not None:
+                    contribution[cid] = contribution.get(cid, 0) + size
+                window_bytes += size
+                window_end += 1
+
+            cid = lookups[i]
+            if cid is not None:
+                useful = contribution.get(cid, 0)
+                # Normalise by the context actually available: near the end
+                # of the stream the look-forward window shrinks, and a
+                # container that fills the whole remaining context is not a
+                # fragmentation source.
+                denominator = min(self.container_bytes, max(1, window_bytes))
+                utility = 1.0 - min(1.0, useful / denominator)
+                if utility >= self.minimal_utility and spent + chunks[i].size <= budget_bytes:
+                    decisions[i] = None
+                    spent += chunks[i].size
+            self._note(chunks[i], cid, decisions[i])
+
+            # Slide the window start past chunk i.
+            size = chunks[i].size
+            if cid is not None:
+                contribution[cid] = contribution.get(cid, 0) - size
+                if contribution[cid] <= 0:
+                    del contribution[cid]
+            window_bytes -= size
+        return decisions

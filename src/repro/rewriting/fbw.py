@@ -1,0 +1,132 @@
+"""FBW — look-back-window assisted rewriting with a dynamic cap (Cao et al.).
+
+The paper's reference [8] (Cao, Wen & Du, FAST'19) improves on fixed capping
+in two ways, both reproduced here:
+
+1. **Look-back window**: rewrite decisions consider how much of each old
+   container is actually useful within a sliding window of the stream
+   (a container whose chunks are spread thinly through the window is a
+   fragmentation source; a densely used one is worth referencing).
+2. **Dynamic cap**: instead of a fixed top-``cap`` rule, the per-segment cap
+   adapts so that the fraction of rewritten bytes tracks a target budget —
+   workloads with little fragmentation rewrite almost nothing, heavily
+   fragmented ones spend the full budget where it matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..chunking.stream import Chunk
+from ..errors import ReproError
+from ..units import CONTAINER_SIZE, MiB
+from .base import Rewriter
+
+
+class FBWRewriter(Rewriter):
+    """Sliding look-back window rewriting with an adaptive cap.
+
+    Args:
+        window_bytes: look-back window size (16 MB default).
+        target_rewrite_ratio: budget — desired rewritten-bytes / duplicate-bytes
+            (2% default).
+        density_threshold: containers supplying at least this fraction of a
+            container's worth of bytes inside the window are always safe.
+        container_bytes: container capacity.
+    """
+
+    def __init__(
+        self,
+        window_bytes: int = 16 * MiB,
+        target_rewrite_ratio: float = 0.02,
+        density_threshold: float = 0.1,
+        container_bytes: int = CONTAINER_SIZE,
+    ) -> None:
+        super().__init__()
+        if window_bytes <= 0 or container_bytes <= 0:
+            raise ReproError("window and container sizes must be positive")
+        if not (0.0 <= target_rewrite_ratio <= 1.0):
+            raise ReproError("target_rewrite_ratio must be in [0, 1]")
+        if not (0.0 < density_threshold <= 1.0):
+            raise ReproError("density_threshold must be in (0, 1]")
+        self.window_bytes = window_bytes
+        self.target_rewrite_ratio = target_rewrite_ratio
+        self.density_threshold = density_threshold
+        self.container_bytes = container_bytes
+
+    def begin_version(self, version_id: int, tag: str = "") -> None:
+        self._duplicate_bytes_seen = 0
+        self._rewritten_bytes_version = 0
+
+    def decide(
+        self, chunks: Sequence[Chunk], lookups: Sequence[Optional[int]]
+    ) -> List[Optional[int]]:
+        self._validate(chunks, lookups)
+        n = len(chunks)
+        decisions: List[Optional[int]] = list(lookups)
+
+        # Pass 1: per-window container densities.  We window over the stream
+        # with two pointers; density[cid] = bytes of cid-chunks in the window.
+        density: Dict[int, int] = {}
+        window_start = 0
+        window_bytes = 0
+        densities_at: List[float] = [0.0] * n
+
+        for i in range(n):
+            cid = lookups[i]
+            size = chunks[i].size
+            if cid is not None:
+                density[cid] = density.get(cid, 0) + size
+            window_bytes += size
+            while window_bytes > self.window_bytes and window_start < i:
+                s_cid = lookups[window_start]
+                s_size = chunks[window_start].size
+                if s_cid is not None:
+                    density[s_cid] -= s_size
+                    if density[s_cid] <= 0:
+                        del density[s_cid]
+                window_bytes -= s_size
+                window_start += 1
+            if cid is not None:
+                densities_at[i] = density.get(cid, 0) / self.container_bytes
+
+        # Pass 2: adaptive, container-granular rewriting.  A container read
+        # is only saved when *every* reference to it is rewritten, so whole
+        # reference groups are rewritten together, sparsest container first,
+        # until the version's budget is exhausted.  A container is a rewrite
+        # candidate only if its peak in-window density stayed below the
+        # threshold (dense containers are worth referencing).
+        duplicate_positions = [i for i in range(n) if lookups[i] is not None]
+        dup_bytes = sum(chunks[i].size for i in duplicate_positions)
+        self._duplicate_bytes_seen += dup_bytes
+        budget = int(
+            self.target_rewrite_ratio * self._duplicate_bytes_seen
+        ) - self._rewritten_bytes_version
+
+        groups: Dict[int, List[int]] = {}
+        peak_density: Dict[int, float] = {}
+        for i in duplicate_positions:
+            cid = lookups[i]
+            groups.setdefault(cid, []).append(i)
+            peak = peak_density.get(cid, 0.0)
+            if densities_at[i] > peak:
+                peak_density[cid] = densities_at[i]
+            else:
+                peak_density.setdefault(cid, densities_at[i])
+
+        sparse_first = sorted(
+            (cid for cid in groups if peak_density[cid] < self.density_threshold),
+            key=lambda c: peak_density[c],
+        )
+        for cid in sparse_first:
+            group_bytes = sum(chunks[i].size for i in groups[cid])
+            if group_bytes > budget:
+                continue  # partial rewrites save nothing; skip the group
+            for i in groups[cid]:
+                decisions[i] = None
+            budget -= group_bytes
+            self._rewritten_bytes_version += group_bytes
+
+        for i in range(n):
+            self._note(chunks[i], lookups[i], decisions[i])
+        return decisions

@@ -1,0 +1,123 @@
+"""Submodular (greedy max-coverage) capping — the paper's reference [34].
+
+Classic capping ranks old containers by *chunk count* and keeps the top-T.
+The submodular variant treats container selection as a budgeted maximum
+coverage problem over *bytes*: greedily keep the container covering the most
+not-yet-covered duplicate bytes of the segment, stopping when either the cap
+is reached or the best remaining container's marginal coverage falls below a
+threshold (no point "spending" a cap slot — i.e. a future container read —
+on a container that contributes almost nothing).  Duplicates from unselected
+containers are rewritten.
+
+Byte coverage and the early stop make the variant adaptive: segments with a
+few dominant containers use fewer cap slots; heavily fragmented ones spend
+the full cap where it pays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..chunking.stream import Chunk
+from ..errors import ReproError
+from ..units import MiB
+from .base import Rewriter
+
+
+class GreedyCappingRewriter(Rewriter):
+    """Budgeted greedy max-coverage container selection per segment.
+
+    Args:
+        cap: maximum containers a segment may reference.
+        segment_bytes: segment size over which the cap applies.
+        min_coverage_bytes: stop selecting once the best remaining
+            container covers less than this many new bytes (the marginal
+            utility floor; 0 reproduces plain byte-weighted capping).
+            Defaults to one average chunk — referencing a container that
+            saves less than a chunk's worth of rewriting is break-even at
+            best.
+    """
+
+    def __init__(
+        self,
+        cap: int = 20,
+        segment_bytes: int = 20 * MiB,
+        min_coverage_bytes: int = 8 * 1024,
+    ) -> None:
+        super().__init__()
+        if cap <= 0 or segment_bytes <= 0:
+            raise ReproError("cap and segment_bytes must be positive")
+        if min_coverage_bytes < 0:
+            raise ReproError("min_coverage_bytes must be >= 0")
+        self.cap = cap
+        self.segment_bytes = segment_bytes
+        self.min_coverage_bytes = min_coverage_bytes
+
+    def decide(
+        self, chunks: Sequence[Chunk], lookups: Sequence[Optional[int]]
+    ) -> List[Optional[int]]:
+        self._validate(chunks, lookups)
+        decisions: List[Optional[int]] = [None] * len(chunks)
+        start = 0
+        consumed = 0
+        for i, chunk in enumerate(chunks):
+            consumed += chunk.size
+            if consumed >= self.segment_bytes or i == len(chunks) - 1:
+                self._decide_segment(chunks, lookups, decisions, start, i + 1)
+                start = i + 1
+                consumed = 0
+        return decisions
+
+    def _decide_segment(
+        self,
+        chunks: Sequence[Chunk],
+        lookups: Sequence[Optional[int]],
+        decisions: List[Optional[int]],
+        lo: int,
+        hi: int,
+    ) -> None:
+        # Coverage sets: container -> {positions}, weighted by chunk bytes.
+        positions: Dict[int, List[int]] = {}
+        for i in range(lo, hi):
+            cid = lookups[i]
+            if cid is not None:
+                positions.setdefault(cid, []).append(i)
+
+        # Deduplicated byte weight per position (a fingerprint repeated in
+        # the segment only needs its container once).
+        covered: Set[bytes] = set()
+        weight: Dict[int, int] = {}
+        for i in range(lo, hi):
+            fp = chunks[i].fingerprint
+            if lookups[i] is not None and fp not in covered:
+                covered.add(fp)
+                weight[i] = chunks[i].size
+            else:
+                weight[i] = 0
+
+        # Greedy max coverage under the cap with a marginal-utility floor.
+        remaining = dict(positions)
+        selected: Set[int] = set()
+        satisfied: Set[bytes] = set()
+        while remaining and len(selected) < self.cap:
+            best_cid = None
+            best_gain = -1
+            for cid, slots in remaining.items():
+                gain = sum(
+                    weight[i]
+                    for i in slots
+                    if chunks[i].fingerprint not in satisfied
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_cid = cid
+            if best_cid is None or best_gain < self.min_coverage_bytes:
+                break
+            selected.add(best_cid)
+            for i in remaining.pop(best_cid):
+                satisfied.add(chunks[i].fingerprint)
+
+        for i in range(lo, hi):
+            cid = lookups[i]
+            decisions[i] = cid if (cid is not None and cid in selected) else None
+            self._note(chunks[i], cid, decisions[i])

@@ -1,0 +1,24 @@
+"""The no-rewrite baseline: every duplicate stays where it is.
+
+This is the paper's "scheme that doesn't rewrite chunks" baseline in
+Figure 11 — maximum deduplication ratio, worst fragmentation growth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..chunking.stream import Chunk
+from .base import Rewriter
+
+
+class NoRewriter(Rewriter):
+    """Identity policy: pass the index's decisions through untouched."""
+
+    def decide(
+        self, chunks: Sequence[Chunk], lookups: Sequence[Optional[int]]
+    ) -> List[Optional[int]]:
+        self._validate(chunks, lookups)
+        for chunk, cid in zip(chunks, lookups):
+            self._note(chunk, cid, cid)
+        return list(lookups)

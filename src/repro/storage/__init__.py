@@ -1,0 +1,47 @@
+"""Storage substrate: containers, container stores, recipes, I/O accounting.
+
+This is the persistent layer every deduplication scheme in the package sits
+on.  All reads and writes are billed to an :class:`~repro.storage.io_model.IOStats`
+ledger, from which the paper's hardware-independent metrics (container reads,
+speed factor, lookup requests) are computed.
+"""
+
+from .container import ChunkSlot, Container
+from .container_store import (
+    ContainerStore,
+    FileContainerStore,
+    MemoryContainerStore,
+    pack_container,
+    unpack_container,
+)
+from .io_model import DiskModel, IOStats
+from .recipe import (
+    ACTIVE_CID,
+    FileRecipeStore,
+    MemoryRecipeStore,
+    Recipe,
+    RecipeEntry,
+    RecipeStore,
+    pack_recipe,
+    unpack_recipe,
+)
+
+__all__ = [
+    "ACTIVE_CID",
+    "ChunkSlot",
+    "Container",
+    "ContainerStore",
+    "DiskModel",
+    "FileContainerStore",
+    "FileRecipeStore",
+    "IOStats",
+    "MemoryContainerStore",
+    "MemoryRecipeStore",
+    "pack_container",
+    "unpack_container",
+    "Recipe",
+    "RecipeEntry",
+    "RecipeStore",
+    "pack_recipe",
+    "unpack_recipe",
+]

@@ -1,0 +1,266 @@
+"""Container stores: where sealed containers live, with read accounting.
+
+Two backends share one interface:
+
+* :class:`MemoryContainerStore` — keeps containers as Python objects; the
+  default for simulation and benchmarks (every read still bills
+  :class:`~repro.storage.io_model.IOStats`, which is what the paper's
+  metrics are computed from).
+* :class:`FileContainerStore` — serialises each container to one file under
+  a directory, for the real byte-level backup examples and the CLI.
+
+Container IDs are allocated by the store, strictly increasing from 1.
+ID ``0`` and negative IDs never name containers — HiDeStore's recipes use
+them as "in active containers" / "see recipe R_n" markers.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import StorageError, UnknownContainerError
+from ..units import CONTAINER_SIZE, FINGERPRINT_SIZE
+from .container import Container
+from .io_model import IOStats
+
+
+class ContainerStore(ABC):
+    """Abstract sealed-container repository with I/O accounting."""
+
+    def __init__(self, capacity: int = CONTAINER_SIZE, stats: Optional[IOStats] = None) -> None:
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IOStats()
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> Container:
+        """Create a fresh, open container with the next global ID."""
+        container = Container(self._next_id, self.capacity)
+        self._next_id += 1
+        return container
+
+    @property
+    def next_id(self) -> int:
+        """The ID the next :meth:`allocate` call will hand out."""
+        return self._next_id
+
+    def reserve_ids(self, upto: int) -> None:
+        """Ensure future allocations start above ``upto`` (checkpoint reload)."""
+        if upto >= self._next_id:
+            self._next_id = upto + 1
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def write(self, container: Container) -> None:
+        """Seal and persist a container (bills one container write)."""
+
+    @abstractmethod
+    def read(self, container_id: int) -> Container:
+        """Fetch a container by ID (bills one container read)."""
+
+    @abstractmethod
+    def delete(self, container_id: int) -> None:
+        """Remove a container (expired-version reclamation)."""
+
+    @abstractmethod
+    def __contains__(self, container_id: int) -> bool: ...
+
+    @abstractmethod
+    def container_ids(self) -> List[int]: ...
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.container_ids())
+
+    def stored_bytes(self) -> int:
+        """Total live payload bytes across all stored containers (unbilled)."""
+        return sum(self.peek(cid).used for cid in self.container_ids())
+
+    def peek(self, container_id: int) -> Container:
+        """Fetch a container *without* billing a read (metrics/test use only)."""
+        raise NotImplementedError
+
+    def iter_containers(self) -> Iterator[Container]:
+        """Iterate containers without billing reads (metrics/test use only)."""
+        for cid in self.container_ids():
+            yield self.peek(cid)
+
+
+class MemoryContainerStore(ContainerStore):
+    """In-memory store: the simulation substrate used by all benchmarks."""
+
+    def __init__(self, capacity: int = CONTAINER_SIZE, stats: Optional[IOStats] = None) -> None:
+        super().__init__(capacity, stats)
+        self._containers: Dict[int, Container] = {}
+
+    def write(self, container: Container) -> None:
+        if container.container_id in self._containers:
+            raise StorageError(f"container {container.container_id} already stored")
+        container.seal()
+        self._containers[container.container_id] = container
+        self.stats.note_container_write(container.used)
+
+    def read(self, container_id: int) -> Container:
+        try:
+            container = self._containers[container_id]
+        except KeyError:
+            raise UnknownContainerError(f"no container {container_id}") from None
+        self.stats.note_container_read(container.used)
+        return container
+
+    def peek(self, container_id: int) -> Container:
+        try:
+            return self._containers[container_id]
+        except KeyError:
+            raise UnknownContainerError(f"no container {container_id}") from None
+
+    def delete(self, container_id: int) -> None:
+        if self._containers.pop(container_id, None) is None:
+            raise UnknownContainerError(f"no container {container_id}")
+
+    def __contains__(self, container_id: int) -> bool:
+        return container_id in self._containers
+
+    def container_ids(self) -> List[int]:
+        return sorted(self._containers)
+
+
+_MAGIC = b"HDSC"
+_HEADER = struct.Struct("<4sIIQ")  # magic, container_id, chunk_count, capacity
+_ENTRY = struct.Struct(f"<{FINGERPRINT_SIZE}sIIB")  # fp, offset, size, has_data
+
+
+def pack_container(container: Container) -> bytes:
+    """Serialise a container (metadata + payload region) to bytes."""
+    entries = []
+    payload = bytearray()
+    for fp, slot in container.items():
+        has_data = 1 if slot.data is not None else 0
+        entries.append(_ENTRY.pack(fp, slot.offset, slot.size, has_data))
+        if slot.data is not None:
+            payload.extend(slot.data)
+    return (
+        _HEADER.pack(_MAGIC, container.container_id, container.chunk_count, container.capacity)
+        + b"".join(entries)
+        + bytes(payload)
+    )
+
+
+def unpack_container(blob: bytes, expected_id: Optional[int] = None) -> Container:
+    """Parse :func:`pack_container` output back into an (unsealed) container.
+
+    Chunks are re-appended in offset order, so holes left by removals are
+    compacted away on load; the logical contents are identical.
+    """
+    from ..chunking.stream import Chunk
+
+    magic, cid, count, capacity = _HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC or (expected_id is not None and cid != expected_id):
+        raise StorageError("corrupt container blob")
+    container = Container(cid, capacity)
+    offset = _HEADER.size
+    metas = []
+    for _ in range(count):
+        fp, chunk_offset, size, has_data = _ENTRY.unpack_from(blob, offset)
+        metas.append((fp, chunk_offset, size, has_data))
+        offset += _ENTRY.size
+    payload_base = offset
+    cursor = 0
+    for fp, chunk_offset, size, has_data in sorted(metas, key=lambda m: m[1]):
+        data = None
+        if has_data:
+            data = blob[payload_base + cursor : payload_base + cursor + size]
+            cursor += size
+        container.add(Chunk(fp, size, data))
+    return container
+
+
+_COMPRESSED_MAGIC = b"HDSZ"
+
+
+class FileContainerStore(ContainerStore):
+    """One file per container under ``root`` (used by the CLI and examples).
+
+    Layout per file: header, metadata entries (the container's hash table),
+    then the payload region.  Metadata-only chunks (simulated streams)
+    serialise with a zero payload flag so round-trips preserve ``data=None``.
+
+    Args:
+        compress: zlib-compress container files on disk (transparent on
+            read; compressed and plain files can coexist in one store).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        capacity: int = CONTAINER_SIZE,
+        stats: Optional[IOStats] = None,
+        compress: bool = False,
+    ) -> None:
+        super().__init__(capacity, stats)
+        self.root = root
+        self.compress = compress
+        os.makedirs(root, exist_ok=True)
+        existing = self.container_ids()
+        if existing:
+            self._next_id = max(existing) + 1
+
+    def _path(self, container_id: int) -> str:
+        return os.path.join(self.root, f"container-{container_id:08d}.hdsc")
+
+    def write(self, container: Container) -> None:
+        path = self._path(container.container_id)
+        if os.path.exists(path):
+            raise StorageError(f"container {container.container_id} already stored")
+        container.seal()
+        blob = pack_container(container)
+        if self.compress:
+            blob = _COMPRESSED_MAGIC + zlib.compress(blob, level=1)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+        self.stats.note_container_write(container.used)
+
+    def read(self, container_id: int) -> Container:
+        container = self._load(container_id)
+        self.stats.note_container_read(container.used)
+        return container
+
+    def peek(self, container_id: int) -> Container:
+        return self._load(container_id)
+
+    def _load(self, container_id: int) -> Container:
+        path = self._path(container_id)
+        if not os.path.exists(path):
+            raise UnknownContainerError(f"no container {container_id}")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        try:
+            if blob[:4] == _COMPRESSED_MAGIC:
+                blob = zlib.decompress(blob[4:])
+            container = unpack_container(blob, expected_id=container_id)
+        except (StorageError, struct.error, zlib.error) as exc:
+            raise StorageError(f"corrupt container file {path}: {exc}") from exc
+        container.seal()
+        return container
+
+    def delete(self, container_id: int) -> None:
+        path = self._path(container_id)
+        if not os.path.exists(path):
+            raise UnknownContainerError(f"no container {container_id}")
+        os.remove(path)
+
+    def __contains__(self, container_id: int) -> bool:
+        return os.path.exists(self._path(container_id))
+
+    def container_ids(self) -> List[int]:
+        ids = []
+        for name in os.listdir(self.root):
+            if name.startswith("container-") and name.endswith(".hdsc"):
+                ids.append(int(name[len("container-") : -len(".hdsc")]))
+        return sorted(ids)

@@ -1,0 +1,255 @@
+"""Recipes: per-version chunk lists used to restore the original data.
+
+Each recipe entry is 28 bytes, exactly as the paper specifies (§2.1): a
+20-byte fingerprint, a 4-byte container ID and a 4-byte size.  Traditional
+systems only ever store positive container IDs.  HiDeStore overloads the CID
+field (§4.3 / §4.4):
+
+* ``cid > 0`` — the chunk lives in archival container ``cid``;
+* ``cid == ACTIVE_CID (0)`` — the chunk lives in the active containers;
+* ``cid < 0`` — the chunk's location is recorded in recipe ``R_{-cid}``
+  (follow the recipe chain).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import RecipeError
+from ..units import FINGERPRINT_SIZE, RECIPE_ENTRY_SIZE
+from .io_model import IOStats
+
+#: CID marker: chunk currently lives in the active containers.
+ACTIVE_CID = 0
+
+
+@dataclass
+class RecipeEntry:
+    """One chunk reference inside a recipe (mutable: HiDeStore updates CIDs)."""
+
+    fingerprint: bytes
+    size: int
+    cid: int = ACTIVE_CID
+
+    @property
+    def is_active(self) -> bool:
+        return self.cid == ACTIVE_CID
+
+    @property
+    def is_archival(self) -> bool:
+        return self.cid > 0
+
+    @property
+    def is_chained(self) -> bool:
+        return self.cid < 0
+
+    @property
+    def chained_version(self) -> int:
+        """For ``cid < 0`` entries: the recipe version to consult next."""
+        if self.cid >= 0:
+            raise RecipeError(f"entry cid={self.cid} is not a chain reference")
+        return -self.cid
+
+
+class Recipe:
+    """The ordered chunk list of one backup version."""
+
+    def __init__(self, version_id: int, tag: str = "", entries: Optional[List[RecipeEntry]] = None) -> None:
+        if version_id <= 0:
+            raise RecipeError("version IDs are 1-based positive integers")
+        self.version_id = version_id
+        self.tag = tag or f"v{version_id}"
+        self.entries: List[RecipeEntry] = entries if entries is not None else []
+
+    def append(self, fingerprint: bytes, size: int, cid: int = ACTIVE_CID) -> RecipeEntry:
+        entry = RecipeEntry(fingerprint, size, cid)
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[RecipeEntry]:
+        return iter(self.entries)
+
+    @property
+    def logical_size(self) -> int:
+        """Pre-dedup byte size of the version this recipe restores."""
+        return sum(e.size for e in self.entries)
+
+    @property
+    def byte_size(self) -> int:
+        """Serialized recipe size (28 bytes per entry, as in the paper)."""
+        return len(self.entries) * RECIPE_ENTRY_SIZE
+
+    def referenced_containers(self) -> List[int]:
+        """Distinct positive CIDs, in first-reference order."""
+        seen: Dict[int, None] = {}
+        for entry in self.entries:
+            if entry.cid > 0 and entry.cid not in seen:
+                seen[entry.cid] = None
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Recipe(version={self.version_id}, tag={self.tag!r}, entries={len(self.entries)})"
+
+
+_ENTRY = struct.Struct(f"<{FINGERPRINT_SIZE}siI")
+assert _ENTRY.size == RECIPE_ENTRY_SIZE
+_HEADER = struct.Struct("<4sII")  # magic, version_id, entry count
+_MAGIC = b"HDSR"
+
+
+def pack_recipe(recipe: Recipe) -> bytes:
+    """Serialise a recipe to its binary on-disk form."""
+    parts = [_HEADER.pack(_MAGIC, recipe.version_id, len(recipe.entries))]
+    tag = recipe.tag.encode("utf-8")
+    parts.append(struct.pack("<H", len(tag)))
+    parts.append(tag)
+    for entry in recipe.entries:
+        parts.append(_ENTRY.pack(entry.fingerprint, entry.cid, entry.size))
+    return b"".join(parts)
+
+
+def unpack_recipe(blob: bytes) -> Recipe:
+    """Parse the binary form produced by :func:`pack_recipe`."""
+    try:
+        magic, version_id, count = _HEADER.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise RecipeError("bad recipe magic")
+        offset = _HEADER.size
+        (tag_len,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        tag = blob[offset : offset + tag_len].decode("utf-8")
+        offset += tag_len
+        entries = []
+        for _ in range(count):
+            fp, cid, size = _ENTRY.unpack_from(blob, offset)
+            entries.append(RecipeEntry(fp, size, cid))
+            offset += _ENTRY.size
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise RecipeError(f"corrupt recipe blob: {exc}") from exc
+    return Recipe(version_id, tag, entries)
+
+
+class RecipeStore(ABC):
+    """Versioned recipe repository with read/write accounting."""
+
+    def __init__(self, stats: Optional[IOStats] = None) -> None:
+        self.stats = stats if stats is not None else IOStats()
+
+    @abstractmethod
+    def write(self, recipe: Recipe) -> None:
+        """Persist (or overwrite — HiDeStore updates chains) a recipe."""
+
+    @abstractmethod
+    def read(self, version_id: int) -> Recipe:
+        """Load a recipe (bills one recipe read)."""
+
+    @abstractmethod
+    def delete(self, version_id: int) -> None: ...
+
+    @abstractmethod
+    def __contains__(self, version_id: int) -> bool: ...
+
+    @abstractmethod
+    def version_ids(self) -> List[int]: ...
+
+    def latest_version(self) -> Optional[int]:
+        ids = self.version_ids()
+        return max(ids) if ids else None
+
+    def total_bytes(self) -> int:
+        """Aggregate serialized size of all recipes (unbilled)."""
+        return sum(self.peek(v).byte_size for v in self.version_ids())
+
+    def peek(self, version_id: int) -> Recipe:
+        """Load without billing (metrics/test use)."""
+        raise NotImplementedError
+
+
+class MemoryRecipeStore(RecipeStore):
+    """Dict-backed recipe store used by simulations and benchmarks."""
+
+    def __init__(self, stats: Optional[IOStats] = None) -> None:
+        super().__init__(stats)
+        self._recipes: Dict[int, Recipe] = {}
+
+    def write(self, recipe: Recipe) -> None:
+        self._recipes[recipe.version_id] = recipe
+        self.stats.note_recipe_write(recipe.byte_size)
+
+    def read(self, version_id: int) -> Recipe:
+        recipe = self._recipes.get(version_id)
+        if recipe is None:
+            raise RecipeError(f"no recipe for version {version_id}")
+        self.stats.note_recipe_read(recipe.byte_size)
+        return recipe
+
+    def peek(self, version_id: int) -> Recipe:
+        recipe = self._recipes.get(version_id)
+        if recipe is None:
+            raise RecipeError(f"no recipe for version {version_id}")
+        return recipe
+
+    def delete(self, version_id: int) -> None:
+        if self._recipes.pop(version_id, None) is None:
+            raise RecipeError(f"no recipe for version {version_id}")
+
+    def __contains__(self, version_id: int) -> bool:
+        return version_id in self._recipes
+
+    def version_ids(self) -> List[int]:
+        return sorted(self._recipes)
+
+
+class FileRecipeStore(RecipeStore):
+    """One binary file per recipe under ``root`` (CLI / examples backend)."""
+
+    def __init__(self, root: str, stats: Optional[IOStats] = None) -> None:
+        super().__init__(stats)
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, version_id: int) -> str:
+        return os.path.join(self.root, f"recipe-{version_id:08d}.hdsr")
+
+    def write(self, recipe: Recipe) -> None:
+        blob = pack_recipe(recipe)
+        tmp = self._path(recipe.version_id) + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, self._path(recipe.version_id))
+        self.stats.note_recipe_write(len(blob))
+
+    def read(self, version_id: int) -> Recipe:
+        recipe = self.peek(version_id)
+        self.stats.note_recipe_read(recipe.byte_size)
+        return recipe
+
+    def peek(self, version_id: int) -> Recipe:
+        path = self._path(version_id)
+        if not os.path.exists(path):
+            raise RecipeError(f"no recipe for version {version_id}")
+        with open(path, "rb") as handle:
+            return unpack_recipe(handle.read())
+
+    def delete(self, version_id: int) -> None:
+        path = self._path(version_id)
+        if not os.path.exists(path):
+            raise RecipeError(f"no recipe for version {version_id}")
+        os.remove(path)
+
+    def __contains__(self, version_id: int) -> bool:
+        return os.path.exists(self._path(version_id))
+
+    def version_ids(self) -> List[int]:
+        ids = []
+        for name in os.listdir(self.root):
+            if name.startswith("recipe-") and name.endswith(".hdsr"):
+                ids.append(int(name[len("recipe-") : -len(".hdsr")]))
+        return sorted(ids)

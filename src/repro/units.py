@@ -1,0 +1,60 @@
+"""Size units and small formatting helpers shared across the package."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: Default container payload capacity used throughout the paper (4 MB).
+CONTAINER_SIZE = 4 * MiB
+
+#: Average chunk size targeted by the paper's chunkers (4-8 KB); we default
+#: to 8 KiB like Destor's TTTD configuration.
+AVERAGE_CHUNK_SIZE = 8 * KiB
+
+#: SHA-1 fingerprint width in bytes.
+FINGERPRINT_SIZE = 20
+
+#: Bytes per recipe entry: 20-byte fingerprint + 4-byte container ID +
+#: 4-byte offset/size (paper §2.1).
+RECIPE_ENTRY_SIZE = 28
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``format_bytes(4<<20) == '4.0 MiB'``."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human size string (``"4MiB"``, ``"8 KB"``, ``"123"``) into bytes.
+
+    Decimal suffixes (KB/MB/GB) are treated as binary multiples, matching how
+    the paper uses "4MB container" to mean 4 MiB.
+    """
+    cleaned = text.strip().lower().replace(" ", "")
+    multipliers = {
+        "tib": TiB, "tb": TiB, "t": TiB,
+        "gib": GiB, "gb": GiB, "g": GiB,
+        "mib": MiB, "mb": MiB, "m": MiB,
+        "kib": KiB, "kb": KiB, "k": KiB,
+        "b": 1,
+    }
+    for suffix, mult in multipliers.items():
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            if not number:
+                break
+            return int(float(number) * mult)
+    try:
+        return int(cleaned)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse size: {text!r}") from exc

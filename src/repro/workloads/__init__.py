@@ -1,0 +1,36 @@
+"""Workload substrate: synthetic version streams, presets, traces, file trees."""
+
+from .datasets import PRESETS, DatasetPreset, history_depth_for, load_preset, preset_names
+from .edits import EditScriptWorkload, delete, insert, modify, move, revive
+from .files import FileTreeGenerator, FileTreeSpec
+from .synthetic import (
+    SyntheticWorkload,
+    WorkloadSpec,
+    rates_for_target_ratio,
+    token_size,
+)
+from .trace import import_delimited, iter_trace, read_trace, write_trace
+
+__all__ = [
+    "DatasetPreset",
+    "EditScriptWorkload",
+    "delete",
+    "insert",
+    "modify",
+    "move",
+    "revive",
+    "FileTreeGenerator",
+    "FileTreeSpec",
+    "PRESETS",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "history_depth_for",
+    "import_delimited",
+    "iter_trace",
+    "load_preset",
+    "preset_names",
+    "rates_for_target_ratio",
+    "read_trace",
+    "token_size",
+    "write_trace",
+]

@@ -1,0 +1,176 @@
+"""Edit-script workloads: versions defined by explicit operations.
+
+The probabilistic model in :mod:`.synthetic` is right for statistics-shaped
+experiments; tests and targeted studies often need *precise* control
+instead: "version 2 is version 1 with bytes 10-12 replaced and a block
+inserted at 40".  This module provides that as a small operation DSL:
+
+>>> from repro.workloads.edits import EditScriptWorkload, modify, insert, delete
+>>> workload = EditScriptWorkload(initial_chunks=100)
+>>> workload.add_version(modify(10, 3), insert(40, 5))
+>>> workload.add_version(delete(0, 10))
+>>> streams = workload.all_versions()
+
+Each operation manipulates the *token list* of the previous version;
+fresh tokens are allocated for modified/inserted chunks, so the §3
+no-reappearance property holds by construction (use :func:`revive` to
+deliberately break it, e.g. for macos-style reappearance tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..chunking.stream import BackupStream, Chunk, synthetic_fingerprint
+from ..errors import WorkloadError
+from ..units import KiB
+from .synthetic import token_size
+
+#: An operation maps (tokens, allocator) -> new token list.
+EditOp = Callable[[List[int], Callable[[], int]], List[int]]
+
+
+def modify(position: int, count: int = 1) -> EditOp:
+    """Replace ``count`` chunks starting at ``position`` with fresh content."""
+
+    def apply(tokens: List[int], fresh: Callable[[], int]) -> List[int]:
+        if position < 0 or position + count > len(tokens):
+            raise WorkloadError(
+                f"modify({position}, {count}) out of range for {len(tokens)} chunks"
+            )
+        return tokens[:position] + [fresh() for _ in range(count)] + tokens[position + count :]
+
+    return apply
+
+
+def insert(position: int, count: int = 1) -> EditOp:
+    """Insert ``count`` fresh chunks before ``position``."""
+
+    def apply(tokens: List[int], fresh: Callable[[], int]) -> List[int]:
+        if position < 0 or position > len(tokens):
+            raise WorkloadError(
+                f"insert({position}) out of range for {len(tokens)} chunks"
+            )
+        return tokens[:position] + [fresh() for _ in range(count)] + tokens[position:]
+
+    return apply
+
+
+def delete(position: int, count: int = 1) -> EditOp:
+    """Remove ``count`` chunks starting at ``position``."""
+
+    def apply(tokens: List[int], fresh: Callable[[], int]) -> List[int]:
+        if position < 0 or position + count > len(tokens):
+            raise WorkloadError(
+                f"delete({position}, {count}) out of range for {len(tokens)} chunks"
+            )
+        return tokens[:position] + tokens[position + count :]
+
+    return apply
+
+
+def move(src: int, count: int, dst: int) -> EditOp:
+    """Move a block of chunks (reordering without new content)."""
+
+    def apply(tokens: List[int], fresh: Callable[[], int]) -> List[int]:
+        if src < 0 or src + count > len(tokens):
+            raise WorkloadError(f"move source out of range")
+        block = tokens[src : src + count]
+        rest = tokens[:src] + tokens[src + count :]
+        if dst < 0 or dst > len(rest):
+            raise WorkloadError(f"move destination out of range")
+        return rest[:dst] + block + rest[dst:]
+
+    return apply
+
+
+def revive(token: int, position: int = 0) -> EditOp:
+    """Re-insert a chunk that disappeared in an earlier version.
+
+    Deliberately violates the §3 observation (the macos pattern); useful
+    for testing ``history_depth`` behaviour with surgical precision.
+    """
+
+    def apply(tokens: List[int], fresh: Callable[[], int]) -> List[int]:
+        if position < 0 or position > len(tokens):
+            raise WorkloadError(f"revive position out of range")
+        return tokens[:position] + [token] + tokens[position:]
+
+    return apply
+
+
+@dataclass(frozen=True)
+class _VersionScript:
+    ops: Sequence[EditOp]
+    tag: str
+
+
+class EditScriptWorkload:
+    """A versioned workload built from explicit edit scripts.
+
+    Args:
+        initial_chunks: chunk count of version 1 (tokens ``0..n-1``).
+        mean_chunk_size: chunk size model (deterministic per token).
+    """
+
+    def __init__(self, initial_chunks: int, mean_chunk_size: int = 8 * KiB) -> None:
+        if initial_chunks < 1:
+            raise WorkloadError("initial_chunks must be >= 1")
+        self.initial_chunks = initial_chunks
+        self.mean_chunk_size = mean_chunk_size
+        self._scripts: List[_VersionScript] = []
+
+    def add_version(self, *ops: EditOp, tag: str = "") -> "EditScriptWorkload":
+        """Append a version derived from the previous one by ``ops`` (in order)."""
+        self._scripts.append(_VersionScript(ops, tag))
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def versions_count(self) -> int:
+        return 1 + len(self._scripts)
+
+    def token_versions(self) -> List[List[int]]:
+        """The raw token lists, version by version."""
+        next_token = self.initial_chunks
+
+        def fresh() -> int:
+            nonlocal next_token
+            token = next_token
+            next_token += 1
+            return token
+
+        current = list(range(self.initial_chunks))
+        out = [list(current)]
+        for script in self._scripts:
+            for op in script.ops:
+                current = op(current, fresh)
+            if not current:
+                raise WorkloadError("an edit script emptied the version")
+            out.append(list(current))
+        return out
+
+    def versions(self):
+        """Yield the version streams (same interface as SyntheticWorkload)."""
+        token_lists = self.token_versions()
+        for index, tokens in enumerate(token_lists, start=1):
+            tag = ""
+            if index > 1:
+                tag = self._scripts[index - 2].tag
+            yield BackupStream(
+                [
+                    Chunk(synthetic_fingerprint(t), token_size(t, self.mean_chunk_size))
+                    for t in tokens
+                ],
+                tag=tag or f"edit-v{index}",
+            )
+
+    def all_versions(self) -> List[BackupStream]:
+        return list(self.versions())
+
+    def version(self, index: int) -> BackupStream:
+        streams = self.all_versions()
+        if index < 1 or index > len(streams):
+            raise WorkloadError(f"version index {index} out of range")
+        return streams[index - 1]

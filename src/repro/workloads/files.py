@@ -1,0 +1,111 @@
+"""Real byte-level version generation for end-to-end exercising.
+
+The benchmark path uses metadata-only streams (see :mod:`.synthetic`), but
+the chunkers, payload containers and the CLI need actual bytes.  This module
+produces an evolving in-memory "source tree": named files whose contents
+mutate between versions the way software releases do — region overwrites,
+appends, new files, deletions — all seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import WorkloadError
+from ..units import KiB
+
+
+@dataclass
+class FileTreeSpec:
+    """Parameters of the evolving file tree.
+
+    Attributes:
+        files: number of files in the first version.
+        mean_file_size: average file size in bytes.
+        versions: number of versions to generate.
+        edit_rate: fraction of each surviving file overwritten per version.
+        append_rate: per-file probability of an append.
+        churn_rate: per-version probability weight of adding/removing files.
+        seed: RNG seed.
+    """
+
+    files: int = 16
+    mean_file_size: int = 64 * KiB
+    versions: int = 5
+    edit_rate: float = 0.05
+    append_rate: float = 0.3
+    churn_rate: float = 0.1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.files < 1 or self.mean_file_size < 1 or self.versions < 1:
+            raise WorkloadError("files, mean_file_size and versions must be >= 1")
+
+
+class FileTreeGenerator:
+    """Yields successive versions of a file tree as ``{name: bytes}`` dicts."""
+
+    def __init__(self, spec: FileTreeSpec) -> None:
+        self.spec = spec
+
+    def _blob(self, rng: random.Random, size: int) -> bytes:
+        return rng.getrandbits(8 * size).to_bytes(size, "big") if size else b""
+
+    def versions(self) -> Iterator[Dict[str, bytes]]:
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        tree: Dict[str, bytes] = {}
+        next_file = 0
+        for _ in range(spec.files):
+            size = rng.randint(spec.mean_file_size // 2, spec.mean_file_size * 3 // 2)
+            tree[f"file-{next_file:04d}.bin"] = self._blob(rng, size)
+            next_file += 1
+        yield dict(tree)
+
+        for _ in range(spec.versions - 1):
+            for name in list(tree):
+                data = tree[name]
+                # Overwrite a contiguous region (an "edit").
+                if data and rng.random() < 0.9:
+                    edit_len = max(1, int(len(data) * spec.edit_rate))
+                    start = rng.randrange(max(1, len(data) - edit_len + 1))
+                    patch = self._blob(rng, edit_len)
+                    tree[name] = data[:start] + patch + data[start + edit_len :]
+                # Occasionally append (log-like growth).
+                if rng.random() < spec.append_rate:
+                    tree[name] = tree[name] + self._blob(
+                        rng, rng.randint(1 * KiB, 8 * KiB)
+                    )
+            # File churn: a removal and/or an addition.
+            if tree and rng.random() < spec.churn_rate:
+                del tree[rng.choice(sorted(tree))]
+            if rng.random() < spec.churn_rate:
+                size = rng.randint(spec.mean_file_size // 2, spec.mean_file_size * 3 // 2)
+                tree[f"file-{next_file:04d}.bin"] = self._blob(rng, size)
+                next_file += 1
+            yield dict(tree)
+
+    # ------------------------------------------------------------------
+    def version_blobs(self) -> Iterator[Tuple[str, bytes]]:
+        """Each version concatenated into one backup-stream blob.
+
+        Files are concatenated in name order (a tar-like serialisation),
+        which is how backup streams reach chunkers in real systems.
+        """
+        for k, tree in enumerate(self.versions(), start=1):
+            blob = b"".join(tree[name] for name in sorted(tree))
+            yield (f"tree-v{k}", blob)
+
+    def write_version(self, tree: Dict[str, bytes], root: str) -> List[str]:
+        """Materialise one version under ``root``; returns written paths."""
+        os.makedirs(root, exist_ok=True)
+        written = []
+        for name in sorted(tree):
+            path = os.path.join(root, name)
+            with open(path, "wb") as handle:
+                handle.write(tree[name])
+            written.append(path)
+        return written

@@ -1,0 +1,217 @@
+"""Synthetic backup-version evolution model.
+
+The paper's datasets (Linux kernel, gcc, fslhomes, macos) are sequences of
+highly similar versions: each new version keeps most chunks of the previous
+one, replaces some, inserts some, deletes some.  Every metric the paper
+evaluates — deduplication ratio, lookup traffic, index size, speed factor —
+depends only on that *chunk-recurrence structure*, so we model it directly:
+
+* a chunk is an integer token with a deterministic pseudo-random size
+  (mean ≈ 8 KiB, the paper's TTTD average);
+* version ``k+1`` is derived from version ``k`` by per-chunk modification
+  (replace with a fresh token), deletion, and block insertion;
+* optionally, a fraction of removed chunks *skip* exactly one version and
+  reappear (the macos behaviour of Figure 3d);
+* optionally, every Nth version is a *major upgrade* with amplified rates.
+
+Everything is seeded: a workload spec always regenerates identical streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ..chunking.stream import BackupStream, Chunk, synthetic_fingerprint
+from ..errors import WorkloadError
+from ..units import KiB
+
+
+def _mix64(value: int) -> int:
+    z = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def token_size(token: int, mean_size: int = 8 * KiB) -> int:
+    """Deterministic chunk size for a token: uniform in [mean/2, 3*mean/2]."""
+    spread = _mix64(token) % mean_size  # [0, mean)
+    return mean_size // 2 + spread
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of a synthetic versioned workload.
+
+    Attributes:
+        name: label used in stream tags and reports.
+        versions: number of backup versions to generate.
+        chunks_per_version: approximate stream length per version.
+        mean_chunk_size: average chunk size in bytes.
+        modify_rate: per-chunk probability of replacement by fresh content.
+        delete_rate: per-chunk probability of removal.
+        insert_rate: inserted chunks per existing chunk (fresh content).
+        skip_rate: per-chunk probability that a removal is temporary — the
+            chunk disappears for exactly one version, then returns (macos).
+        major_every: every Nth version is a major upgrade (0 disables).
+        major_factor: rate multiplier applied on major upgrades.
+        seed: RNG seed; same spec → same streams.
+    """
+
+    name: str = "synthetic"
+    versions: int = 10
+    chunks_per_version: int = 2048
+    mean_chunk_size: int = 8 * KiB
+    modify_rate: float = 0.03
+    delete_rate: float = 0.01
+    insert_rate: float = 0.015
+    skip_rate: float = 0.0
+    major_every: int = 0
+    major_factor: float = 3.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.versions < 1:
+            raise WorkloadError("versions must be >= 1")
+        if self.chunks_per_version < 1:
+            raise WorkloadError("chunks_per_version must be >= 1")
+        for rate_name in ("modify_rate", "delete_rate", "insert_rate", "skip_rate"):
+            rate = getattr(self, rate_name)
+            if not (0.0 <= rate <= 1.0):
+                raise WorkloadError(f"{rate_name} must be in [0, 1], got {rate}")
+        if self.major_every < 0 or self.major_factor < 1.0:
+            raise WorkloadError("major_every must be >= 0 and major_factor >= 1")
+
+    @property
+    def new_data_rate(self) -> float:
+        """Approximate fresh-content fraction per minor version."""
+        return self.modify_rate + self.insert_rate
+
+
+class SyntheticWorkload:
+    """Generates the version streams described by a :class:`WorkloadSpec`.
+
+    Iterating yields one :class:`BackupStream` per version, tagged
+    ``"<name>-v<k>"``.  Streams are regenerable: :meth:`versions` restarts
+    from the first version every time.
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def versions(self) -> Iterator[BackupStream]:
+        """Yield every version stream in order (deterministic)."""
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        next_token = 1
+        current: List[int] = []
+        for _ in range(spec.chunks_per_version):
+            current.append(next_token)
+            next_token += 1
+        skipped: List[int] = []  # chunks absent this version, back next
+
+        for version in range(1, spec.versions + 1):
+            if version > 1:
+                factor = 1.0
+                if spec.major_every and (version - 1) % spec.major_every == 0:
+                    factor = spec.major_factor
+                modify = min(1.0, spec.modify_rate * factor)
+                delete = min(1.0, spec.delete_rate * factor)
+                insert = min(1.0, spec.insert_rate * factor)
+
+                evolved: List[int] = []
+                returning = skipped
+                skipped = []
+                for token in current:
+                    roll = rng.random()
+                    if roll < modify:
+                        evolved.append(next_token)  # replaced by fresh content
+                        next_token += 1
+                    elif roll < modify + delete:
+                        if rng.random() < spec.skip_rate and spec.skip_rate > 0:
+                            skipped.append(token)  # temporary absence
+                        # else: permanently gone
+                    else:
+                        evolved.append(token)
+                    if rng.random() < insert:
+                        evolved.append(next_token)
+                        next_token += 1
+                # Temporarily absent chunks reappear at random positions.
+                for token in returning:
+                    evolved.insert(rng.randrange(len(evolved) + 1), token)
+                current = evolved
+
+            yield BackupStream(
+                [
+                    Chunk(synthetic_fingerprint(t), token_size(t, spec.mean_chunk_size))
+                    for t in current
+                ],
+                tag=f"{spec.name}-v{version}",
+            )
+
+    def all_versions(self) -> List[BackupStream]:
+        """Materialise every version (convenience for tests/benches)."""
+        return list(self.versions())
+
+    def version(self, index: int) -> BackupStream:
+        """The ``index``-th (1-based) version stream."""
+        if index < 1 or index > self.spec.versions:
+            raise WorkloadError(
+                f"version index {index} out of range 1..{self.spec.versions}"
+            )
+        for k, stream in enumerate(self.versions(), start=1):
+            if k == index:
+                return stream
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    def logical_bytes(self) -> int:
+        """Total pre-dedup bytes across all versions."""
+        return sum(s.logical_size for s in self.versions())
+
+    def expected_dedup_ratio(self) -> float:
+        """Exact dedup ratio of the generated streams (unique-bytes based)."""
+        total = 0
+        unique = 0
+        seen = set()
+        for stream in self.versions():
+            for chunk in stream:
+                total += chunk.size
+                if chunk.fingerprint not in seen:
+                    seen.add(chunk.fingerprint)
+                    unique += chunk.size
+        if total == 0:
+            return 0.0
+        return (total - unique) / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SyntheticWorkload({self.spec!r})"
+
+
+def rates_for_target_ratio(
+    target_ratio: float, versions: int, modify_share: float = 0.7
+) -> dict:
+    """Derive per-version churn rates that hit a whole-dataset dedup ratio.
+
+    With ``V`` versions and fresh-content fraction ``x`` per version, the
+    dataset's unique share is roughly ``(1 + (V-1)*x) / V``; solving for the
+    target ratio gives ``x``.  The returned dict feeds
+    :class:`WorkloadSpec` (``modify_rate``/``insert_rate``; deletions are set
+    to balance insertions so version size stays roughly constant).
+    """
+    if not (0.0 <= target_ratio < 1.0):
+        raise WorkloadError("target_ratio must be in [0, 1)")
+    if versions < 2:
+        raise WorkloadError("need at least 2 versions to tune rates")
+    x = (versions * (1.0 - target_ratio) - 1.0) / (versions - 1)
+    x = max(0.0, min(1.0, x))
+    modify = x * modify_share
+    insert = x * (1.0 - modify_share)
+    return {
+        "modify_rate": modify,
+        "insert_rate": insert,
+        "delete_rate": insert * 0.9,
+    }

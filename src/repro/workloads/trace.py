@@ -1,0 +1,151 @@
+"""Chunk-trace file format (FSL-trace-style) reader and writer.
+
+The paper's fslhomes/macos datasets are *trace* datasets: sequences of
+(fingerprint, size) records per snapshot, no payloads.  This module defines
+an equivalent plain-text format so workloads can be exported, shared and
+replayed byte-identically:
+
+```
+# hidestore-trace v1
+V <tag>
+<fingerprint hex> <size>
+...
+V <next tag>
+...
+```
+
+Any stream of metadata-only chunks round-trips through this format.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..chunking.stream import BackupStream, Chunk
+from ..errors import WorkloadError
+
+_HEADER = "# hidestore-trace v1"
+
+
+def write_trace(path: str, streams: Iterable[BackupStream]) -> int:
+    """Write backup streams to a trace file; returns versions written."""
+    count = 0
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(_HEADER + "\n")
+        for stream in streams:
+            handle.write(f"V {stream.tag}\n")
+            for chunk in stream:
+                handle.write(f"{chunk.fingerprint.hex()} {chunk.size}\n")
+            count += 1
+    os.replace(tmp, path)
+    return count
+
+
+def _parse(handle: TextIO, path: str) -> Iterator[BackupStream]:
+    header = handle.readline().rstrip("\n")
+    if header != _HEADER:
+        raise WorkloadError(f"{path}: not a hidestore trace (header {header!r})")
+    tag: Union[str, None] = None
+    chunks: List[Chunk] = []
+    for line_no, line in enumerate(handle, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("V "):
+            if tag is not None:
+                yield BackupStream(chunks, tag=tag)
+            tag = line[2:].strip()
+            chunks = []
+            continue
+        if tag is None:
+            raise WorkloadError(f"{path}:{line_no}: chunk record before any version")
+        parts = line.split()
+        if len(parts) != 2:
+            raise WorkloadError(f"{path}:{line_no}: expected '<fp hex> <size>'")
+        try:
+            fingerprint = bytes.fromhex(parts[0])
+            size = int(parts[1])
+        except ValueError as exc:
+            raise WorkloadError(f"{path}:{line_no}: {exc}") from exc
+        chunks.append(Chunk(fingerprint, size))
+    if tag is not None:
+        yield BackupStream(chunks, tag=tag)
+
+
+def read_trace(path: str) -> List[BackupStream]:
+    """Load every version stream of a trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(_parse(handle, path))
+
+
+def iter_trace(path: str) -> Iterator[BackupStream]:
+    """Stream version-by-version (whole versions are still materialised)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from _parse(handle, path)
+
+
+def import_delimited(
+    path: str,
+    fingerprint_field: int = 0,
+    size_field: int = 1,
+    delimiter: Union[str, None] = None,
+    version_prefix: str = "#version",
+    default_size: int = 8192,
+    comment: str = "#",
+) -> List[BackupStream]:
+    """Adapt third-party chunk dumps (e.g. FSL-trace derived) into streams.
+
+    Many public trace archives distribute per-snapshot text dumps with one
+    chunk per line (hash and size in some column order).  This importer
+    handles that family:
+
+    * a line starting with ``version_prefix`` (followed by an optional tag)
+      begins a new version;
+    * other non-comment lines are split on ``delimiter`` (any whitespace by
+      default); ``fingerprint_field`` selects the hex-digest column and
+      ``size_field`` the chunk-size column (``size_field=-1`` means the dump
+      has no sizes — ``default_size`` is used, as is common for fixed-rate
+      summaries).
+
+    Fingerprints shorter than 20 bytes are zero-padded on the right; longer
+    ones are truncated (index-size metrics assume SHA-1 width).
+    """
+    from ..units import FINGERPRINT_SIZE
+
+    streams: List[BackupStream] = []
+    chunks: List[Chunk] = []
+    tag = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.lower().startswith(version_prefix):
+                if tag is not None:
+                    streams.append(BackupStream(chunks, tag=tag))
+                tag = line[len(version_prefix):].strip() or f"v{len(streams) + 1}"
+                chunks = []
+                continue
+            if comment and line.startswith(comment):
+                continue
+            if tag is None:
+                tag = "v1"
+            fields = line.split(delimiter)
+            try:
+                digest = fields[fingerprint_field].strip().lower()
+                if len(digest) % 2:
+                    digest = "0" + digest
+                fingerprint = bytes.fromhex(digest)
+                if size_field < 0:
+                    size = default_size
+                else:
+                    size = int(fields[size_field])
+            except (IndexError, ValueError) as exc:
+                raise WorkloadError(f"{path}:{line_no}: {exc}") from exc
+            fingerprint = fingerprint[:FINGERPRINT_SIZE].ljust(FINGERPRINT_SIZE, b"\x00")
+            chunks.append(Chunk(fingerprint, size))
+    if tag is not None:
+        streams.append(BackupStream(chunks, tag=tag))
+    return streams

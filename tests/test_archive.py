@@ -1,0 +1,186 @@
+"""Tests for the file-level archive layer (manifests + partial restore)."""
+
+import pytest
+
+from repro.archive import DirectoryArchive, FileEntry, Manifest
+from repro.chunking import FastCDCChunker, FixedChunker
+from repro.core import HiDeStore
+from repro.errors import ReproError, VersionNotFoundError
+from repro.index import ExactFullIndex
+from repro.pipeline.system import BackupSystem
+from repro.units import KiB
+from repro.workloads import FileTreeGenerator, FileTreeSpec
+
+
+def tiny_chunker():
+    return FastCDCChunker(min_size=256, avg_size=1024, max_size=4096)
+
+
+def sample_tree(seed=1, files=6, size=8 * KiB):
+    gen = FileTreeGenerator(FileTreeSpec(files=files, mean_file_size=size, versions=1, seed=seed))
+    return next(gen.versions())
+
+
+class TestManifest:
+    def test_build_layout(self):
+        manifest = Manifest.build(
+            1, "t", files=[("a", 100), ("b", 250), ("c", 0)], chunk_sizes=[150, 200]
+        )
+        a, b, c = manifest.entry("a"), manifest.entry("b"), manifest.entry("c")
+        assert (a.offset, a.size, a.first_entry, a.last_entry, a.skip_bytes) == (0, 100, 0, 1, 0)
+        assert (b.offset, b.first_entry, b.last_entry, b.skip_bytes) == (100, 0, 2, 100)
+        assert c.size == 0
+        assert manifest.total_bytes == 350
+
+    def test_build_rejects_overrun(self):
+        with pytest.raises(ReproError):
+            Manifest.build(1, "t", files=[("a", 500)], chunk_sizes=[100])
+
+    def test_build_rejects_underrun(self):
+        with pytest.raises(ReproError):
+            Manifest.build(1, "t", files=[("a", 50)], chunk_sizes=[100])
+
+    def test_json_round_trip(self):
+        manifest = Manifest.build(
+            3, "snap", files=[("x/y.bin", 128), ("z.bin", 72)], chunk_sizes=[200]
+        )
+        loaded = Manifest.from_json(manifest.to_json())
+        assert loaded.version_id == 3
+        assert loaded.tag == "snap"
+        assert loaded.paths() == ["x/y.bin", "z.bin"]
+        assert loaded.entry("x/y.bin") == manifest.entry("x/y.bin")
+
+    def test_corrupt_json_rejected(self):
+        with pytest.raises(ReproError):
+            Manifest.from_json('{"nope": 1}')
+
+    def test_unknown_path_rejected(self):
+        manifest = Manifest.build(1, "t", files=[("a", 10)], chunk_sizes=[10])
+        with pytest.raises(ReproError):
+            manifest.entry("b")
+
+
+@pytest.mark.parametrize("backend", ["hidestore", "traditional"])
+class TestArchiveRoundTrip:
+    def make(self, backend):
+        if backend == "hidestore":
+            system = HiDeStore(container_size=64 * KiB)
+        else:
+            system = BackupSystem(ExactFullIndex(), container_size=64 * KiB)
+        return DirectoryArchive(system, chunker=tiny_chunker())
+
+    def test_full_tree_round_trip(self, backend):
+        archive = self.make(backend)
+        tree = sample_tree()
+        archive.backup_tree(tree, tag="s1")
+        assert archive.restore_tree(1) == tree
+
+    def test_multi_version_round_trip(self, backend):
+        archive = self.make(backend)
+        gen = FileTreeGenerator(FileTreeSpec(files=5, mean_file_size=8 * KiB, versions=4, seed=9))
+        trees = list(gen.versions())
+        for tree in trees:
+            archive.backup_tree(tree)
+        for version_id, tree in enumerate(trees, start=1):
+            assert archive.restore_tree(version_id) == tree
+
+    def test_every_file_partially_restorable(self, backend):
+        archive = self.make(backend)
+        tree = sample_tree(seed=4)
+        archive.backup_tree(tree)
+        for path, data in tree.items():
+            assert archive.restore_file(1, path) == data
+
+    def test_partial_restore_of_old_version(self, backend):
+        archive = self.make(backend)
+        gen = FileTreeGenerator(FileTreeSpec(files=5, mean_file_size=8 * KiB, versions=3, seed=11))
+        trees = list(gen.versions())
+        for tree in trees:
+            archive.backup_tree(tree)
+        shared = sorted(set(trees[0]) & set(trees[1]))
+        for path in shared[:3]:
+            assert archive.restore_file(1, path) == trees[0][path]
+
+    def test_empty_file_restores(self, backend):
+        archive = self.make(backend)
+        tree = dict(sample_tree(seed=5), **{"empty.bin": b""})
+        archive.backup_tree(tree)
+        assert archive.restore_file(1, "empty.bin") == b""
+        assert archive.restore_tree(1)["empty.bin"] == b""
+
+    def test_deduplication_across_snapshots(self, backend):
+        archive = self.make(backend)
+        tree = sample_tree(seed=6)
+        archive.backup_tree(tree)
+        report = archive.backup_tree(tree)
+        assert report.duplicate_chunks == report.total_chunks
+
+    def test_list_files_and_versions(self, backend):
+        archive = self.make(backend)
+        tree = sample_tree(seed=7)
+        archive.backup_tree(tree)
+        assert archive.versions() == [1]
+        assert archive.list_files(1) == sorted(tree)
+
+
+class TestPartialRestoreEfficiency:
+    def test_single_file_reads_fewer_containers_than_full(self):
+        archive = DirectoryArchive(
+            HiDeStore(container_size=8 * KiB), chunker=tiny_chunker()
+        )
+        tree = sample_tree(seed=8, files=16, size=16 * KiB)
+        archive.backup_tree(tree)
+        path = sorted(tree)[0]
+        before = archive.system.io.snapshot()
+        archive.restore_file(1, path)
+        partial = archive.system.io.delta(before).container_reads
+        before = archive.system.io.snapshot()
+        archive.restore_tree(1)
+        full = archive.system.io.delta(before).container_reads
+        assert partial < full
+
+
+class TestArchiveErrors:
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ReproError):
+            DirectoryArchive(chunker=tiny_chunker()).backup_tree({})
+
+    def test_unknown_version_rejected(self):
+        archive = DirectoryArchive(chunker=tiny_chunker())
+        with pytest.raises(VersionNotFoundError):
+            archive.restore_tree(1)
+
+    def test_metadata_only_system_rejected(self):
+        from tests.conftest import make_stream
+
+        archive = DirectoryArchive(HiDeStore(container_size=64 * KiB))
+        archive.system.backup(make_stream([1, 2, 3], size=1024))
+        archive.manifests[1] = Manifest.build(
+            1, "t", files=[("a", 3 * 1024)], chunk_sizes=[1024] * 3
+        )
+        with pytest.raises(ReproError):
+            archive.restore_tree(1)
+
+
+class TestDiskDirectories:
+    def test_backup_directory_and_write_tree(self, tmp_path):
+        source = tmp_path / "src"
+        source.mkdir()
+        (source / "sub").mkdir()
+        (source / "a.bin").write_bytes(b"alpha" * 1000)
+        (source / "sub" / "b.bin").write_bytes(b"beta" * 2000)
+        archive = DirectoryArchive(
+            HiDeStore(container_size=64 * KiB), chunker=tiny_chunker()
+        )
+        archive.backup_directory(str(source), tag="disk")
+        out = tmp_path / "out"
+        written = archive.write_tree(1, str(out))
+        assert len(written) == 2
+        assert (out / "a.bin").read_bytes() == b"alpha" * 1000
+        assert (out / "sub" / "b.bin").read_bytes() == b"beta" * 2000
+
+    def test_empty_directory_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ReproError):
+            DirectoryArchive(chunker=tiny_chunker()).backup_directory(str(empty))

@@ -1,0 +1,72 @@
+"""Tests for the Bloom filter (DDFS summary vector)."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.bloom import BloomFilter
+
+
+def keys(seed, count):
+    rng = random.Random(seed)
+    return [rng.getrandbits(160).to_bytes(20, "big") for _ in range(count)]
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=1000, false_positive_rate=0.01)
+        inserted = keys(1, 1000)
+        for key in inserted:
+            bloom.add(key)
+        assert all(key in bloom for key in inserted)
+
+    def test_false_positive_rate_bounded(self):
+        bloom = BloomFilter(expected_items=2000, false_positive_rate=0.01)
+        for key in keys(2, 2000):
+            bloom.add(key)
+        probes = keys(3, 5000)
+        false_positives = sum(1 for key in probes if key in bloom)
+        # Allow 4x slack over the design rate.
+        assert false_positives / len(probes) < 0.04
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_items=100)
+        assert not any(key in bloom for key in keys(4, 100))
+
+    def test_sizing_scales_with_expected_items(self):
+        small = BloomFilter(expected_items=1000)
+        large = BloomFilter(expected_items=100_000)
+        assert large.size_bytes > small.size_bytes * 50
+
+    def test_lower_fp_rate_needs_more_bits(self):
+        loose = BloomFilter(expected_items=1000, false_positive_rate=0.1)
+        tight = BloomFilter(expected_items=1000, false_positive_rate=0.001)
+        assert tight.size_bytes > loose.size_bytes
+
+    def test_estimated_fp_rate_grows_with_fill(self):
+        bloom = BloomFilter(expected_items=1000, false_positive_rate=0.01)
+        assert bloom.estimated_fp_rate == 0.0
+        for key in keys(5, 500):
+            bloom.add(key)
+        half = bloom.estimated_fp_rate
+        for key in keys(6, 500):
+            bloom.add(key)
+        assert bloom.estimated_fp_rate > half > 0.0
+
+    def test_count_tracks_inserts(self):
+        bloom = BloomFilter(expected_items=10)
+        for key in keys(7, 5):
+            bloom.add(key)
+        assert bloom.count == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(IndexError_):
+            BloomFilter(expected_items=0)
+        with pytest.raises(IndexError_):
+            BloomFilter(expected_items=10, false_positive_rate=1.5)
+
+    def test_short_keys_handled(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add(b"ab")
+        assert b"ab" in bloom

@@ -1,0 +1,200 @@
+"""Tests for all content-defined chunkers.
+
+The invariants every chunker must satisfy:
+
+1. **Lossless**: concatenating the chunks reproduces the input exactly.
+2. **Size contract**: every chunk except the stream tail is within
+   [min_size, max_size].
+3. **Determinism**: the same bytes always split identically.
+4. **Streaming equivalence**: splitting via arbitrary block boundaries
+   equals splitting the whole buffer.
+5. **Boundary-shift robustness** (CDC only): a one-byte prefix insertion
+   re-chunks only a bounded prefix of the stream.
+"""
+
+import random
+
+import pytest
+
+from repro.chunking import (
+    AEChunker,
+    FastCDCChunker,
+    FixedChunker,
+    RabinChunker,
+    TTTDChunker,
+    make_chunker,
+)
+from repro.errors import ChunkingError
+
+CDC_CHUNKERS = {
+    "rabin": lambda: RabinChunker(min_size=256, avg_size=1024, max_size=4096),
+    "tttd": lambda: TTTDChunker(min_size=512, avg_size=1024, max_size=4096),
+    "fastcdc": lambda: FastCDCChunker(min_size=256, avg_size=1024, max_size=4096),
+    "ae": lambda: AEChunker(avg_size=1024, max_size=4096),
+}
+ALL_CHUNKERS = dict(CDC_CHUNKERS, fixed=lambda: FixedChunker(1024))
+
+
+def _data(seed: int, size: int) -> bytes:
+    return random.Random(seed).getrandbits(8 * size).to_bytes(size, "big")
+
+
+@pytest.mark.parametrize("name", sorted(ALL_CHUNKERS))
+class TestUniversalInvariants:
+    def test_lossless(self, name):
+        chunker = ALL_CHUNKERS[name]()
+        data = _data(1, 100_000)
+        assert b"".join(chunker.split(data)) == data
+
+    def test_size_contract(self, name):
+        chunker = ALL_CHUNKERS[name]()
+        data = _data(2, 80_000)
+        pieces = chunker.split(data)
+        for piece in pieces[:-1]:
+            assert chunker.min_size <= len(piece) <= chunker.max_size
+        assert 0 < len(pieces[-1]) <= chunker.max_size
+
+    def test_deterministic(self, name):
+        data = _data(3, 50_000)
+        a = ALL_CHUNKERS[name]().split(data)
+        b = ALL_CHUNKERS[name]().split(data)
+        assert a == b
+
+    def test_streaming_equals_whole_buffer(self, name):
+        chunker = ALL_CHUNKERS[name]()
+        data = _data(4, 60_000)
+        whole = chunker.split(data)
+        rng = random.Random(5)
+        blocks = []
+        pos = 0
+        while pos < len(data):
+            step = rng.randint(1, 7000)
+            blocks.append(data[pos : pos + step])
+            pos += step
+        streamed = list(ALL_CHUNKERS[name]().split_stream(blocks))
+        assert streamed == whole
+
+    def test_empty_input(self, name):
+        chunker = ALL_CHUNKERS[name]()
+        assert chunker.split(b"") == []
+        assert list(chunker.split_stream([])) == []
+
+    def test_tiny_input_one_chunk(self, name):
+        chunker = ALL_CHUNKERS[name]()
+        data = b"xy"
+        assert chunker.split(data) == [data]
+
+    def test_chunk_bytes_fingerprints(self, name):
+        chunker = ALL_CHUNKERS[name]()
+        data = _data(6, 20_000)
+        chunks = chunker.chunk_bytes(data)
+        assert b"".join(c.data for c in chunks) == data
+        assert all(len(c.fingerprint) == 20 for c in chunks)
+
+    def test_chunk_stream_builds_backup_stream(self, name):
+        chunker = ALL_CHUNKERS[name]()
+        data = _data(7, 10_000)
+        stream = chunker.chunk_stream([data], tag="t")
+        assert stream.tag == "t"
+        assert stream.logical_size == len(data)
+
+
+@pytest.mark.parametrize("name", sorted(CDC_CHUNKERS))
+class TestContentDefinedBehaviour:
+    def test_average_size_in_ballpark(self, name):
+        chunker = CDC_CHUNKERS[name]()
+        data = _data(8, 400_000)
+        pieces = chunker.split(data)
+        average = len(data) / len(pieces)
+        # Within a generous 3x band around the target average.
+        assert chunker.avg_size / 3 <= average <= chunker.avg_size * 3
+
+    def test_boundary_shift_robustness(self, name):
+        """Inserting a prefix byte must not re-chunk the whole stream."""
+        chunker = CDC_CHUNKERS[name]()
+        data = _data(9, 200_000)
+        original = set(chunker.split(data))
+        shifted = set(chunker.split(b"!" + data))
+        shared = len(original & shifted)
+        # CDC re-synchronises: the vast majority of chunks survive the shift.
+        assert shared >= len(original) * 0.5
+
+    def test_local_edit_changes_few_chunks(self, name):
+        chunker = CDC_CHUNKERS[name]()
+        data = bytearray(_data(10, 200_000))
+        original = chunker.split(bytes(data))
+        data[100_000:100_010] = b"0123456789"
+        edited = chunker.split(bytes(data))
+        changed = len(set(edited) - set(original))
+        assert changed <= 6  # an edit touches only the chunks around it
+
+
+class TestFixedChunker:
+    def test_everything_shifts_on_insert(self):
+        """The boundary-shift problem fixed-size chunking suffers from."""
+        chunker = FixedChunker(1024)
+        data = _data(11, 50_000)
+        original = set(chunker.split(data))
+        shifted = set(chunker.split(b"!" + data))
+        assert len(original & shifted) <= 2
+
+    def test_exact_sizes(self):
+        pieces = FixedChunker(100).split(b"a" * 250)
+        assert [len(p) for p in pieces] == [100, 100, 50]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ChunkingError):
+            FixedChunker(0)
+
+
+class TestConfigurationValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(ChunkingError):
+            RabinChunker(min_size=4096, avg_size=1024, max_size=8192)
+
+    def test_rabin_requires_power_of_two_average(self):
+        with pytest.raises(ChunkingError):
+            RabinChunker(min_size=256, avg_size=1000, max_size=4096)
+
+    def test_fastcdc_requires_power_of_two_average(self):
+        with pytest.raises(ChunkingError):
+            FastCDCChunker(min_size=256, avg_size=1000, max_size=4096)
+
+    def test_window_must_fit_min_size(self):
+        with pytest.raises(ChunkingError):
+            RabinChunker(min_size=16, avg_size=1024, max_size=4096, window=48)
+
+    def test_tttd_divisors_positive(self):
+        chunker = TTTDChunker(min_size=512, avg_size=1024, max_size=4096)
+        assert chunker.main_divisor >= 2
+        assert chunker.backup_divisor >= 2
+        assert chunker.backup_divisor < chunker.main_divisor
+
+
+class TestMakeChunker:
+    @pytest.mark.parametrize("name", ["fixed", "rabin", "tttd", "fastcdc", "ae"])
+    def test_factory_names(self, name):
+        assert make_chunker(name) is not None
+
+    def test_factory_is_case_insensitive(self):
+        assert isinstance(make_chunker("FastCDC"), FastCDCChunker)
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_chunker("nope")
+
+    def test_factory_forwards_kwargs(self):
+        chunker = make_chunker("fixed", size=2048)
+        assert chunker.size == 2048
+
+
+class TestSeedIsolation:
+    def test_different_seeds_cut_differently(self):
+        data = _data(12, 100_000)
+        a = FastCDCChunker(seed=1).split(data)
+        b = FastCDCChunker(seed=2).split(data)
+        assert a != b
+
+    def test_same_seed_cuts_identically(self):
+        data = _data(13, 100_000)
+        assert TTTDChunker(seed=9).split(data) == TTTDChunker(seed=9).split(data)

@@ -1,0 +1,155 @@
+"""Tests for container stores (memory + file backends) and I/O billing."""
+
+import os
+
+import pytest
+
+from repro.chunking.stream import Chunk, synthetic_fingerprint
+from repro.errors import StorageError, UnknownContainerError
+from repro.storage.container_store import FileContainerStore, MemoryContainerStore
+
+
+def fill(container, tokens, size=100, with_data=False):
+    for t in tokens:
+        data = bytes([t % 256]) * size if with_data else None
+        container.add(Chunk(synthetic_fingerprint(t), size, data))
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryContainerStore(capacity=10_000)
+    return FileContainerStore(str(tmp_path / "containers"), capacity=10_000)
+
+
+class TestCommonBehaviour:
+    def test_allocate_monotonic_ids_from_one(self, store):
+        a = store.allocate()
+        b = store.allocate()
+        assert (a.container_id, b.container_id) == (1, 2)
+        assert store.next_id == 3
+
+    def test_write_read_round_trip(self, store):
+        c = store.allocate()
+        fill(c, range(5))
+        store.write(c)
+        loaded = store.read(c.container_id)
+        assert loaded.chunk_count == 5
+        assert synthetic_fingerprint(3) in loaded
+
+    def test_write_seals(self, store):
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        assert c.sealed
+
+    def test_double_write_rejected(self, store):
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        c2 = MemoryContainerStore(capacity=10_000).allocate()  # same id 1
+        fill(c2, [2])
+        with pytest.raises(StorageError):
+            store.write(c2)
+
+    def test_read_unknown_raises(self, store):
+        with pytest.raises(UnknownContainerError):
+            store.read(99)
+
+    def test_delete(self, store):
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        store.delete(c.container_id)
+        assert c.container_id not in store
+        with pytest.raises(UnknownContainerError):
+            store.delete(c.container_id)
+
+    def test_container_ids_sorted(self, store):
+        for _ in range(3):
+            c = store.allocate()
+            fill(c, [c.container_id])
+            store.write(c)
+        assert store.container_ids() == [1, 2, 3]
+        assert len(store) == 3
+
+    def test_read_bills_io(self, store):
+        c = store.allocate()
+        fill(c, range(4), size=50)
+        store.write(c)
+        before = store.stats.snapshot()
+        store.read(c.container_id)
+        delta = store.stats.delta(before)
+        assert delta.container_reads == 1
+        assert delta.bytes_read == 200
+
+    def test_write_bills_io(self, store):
+        c = store.allocate()
+        fill(c, range(4), size=50)
+        before = store.stats.snapshot()
+        store.write(c)
+        delta = store.stats.delta(before)
+        assert delta.container_writes == 1
+        assert delta.bytes_written == 200
+
+    def test_peek_does_not_bill(self, store):
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        before = store.stats.snapshot()
+        store.peek(c.container_id)
+        assert store.stats.delta(before).container_reads == 0
+
+    def test_stored_bytes(self, store):
+        c = store.allocate()
+        fill(c, range(3), size=100)
+        store.write(c)
+        assert store.stored_bytes() == 300
+
+
+class TestFileStoreSpecifics:
+    def test_payload_round_trip(self, tmp_path):
+        store = FileContainerStore(str(tmp_path / "c"), capacity=10_000)
+        c = store.allocate()
+        fill(c, range(3), size=64, with_data=True)
+        store.write(c)
+        loaded = store.read(c.container_id)
+        for t in range(3):
+            assert loaded.get_chunk(synthetic_fingerprint(t)).data == bytes([t]) * 64
+
+    def test_metadata_only_round_trip_keeps_none_payload(self, tmp_path):
+        store = FileContainerStore(str(tmp_path / "c"), capacity=10_000)
+        c = store.allocate()
+        fill(c, range(3), with_data=False)
+        store.write(c)
+        loaded = store.read(c.container_id)
+        assert loaded.get_chunk(synthetic_fingerprint(0)).data is None
+
+    def test_reopen_resumes_id_allocation(self, tmp_path):
+        root = str(tmp_path / "c")
+        store = FileContainerStore(root, capacity=10_000)
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        reopened = FileContainerStore(root, capacity=10_000)
+        assert reopened.allocate().container_id == 2
+
+    def test_corrupt_file_detected(self, tmp_path):
+        root = str(tmp_path / "c")
+        store = FileContainerStore(root, capacity=10_000)
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        path = os.path.join(root, "container-00000001.hdsc")
+        with open(path, "r+b") as handle:
+            handle.write(b"XXXX")
+        with pytest.raises(StorageError):
+            store.read(1)
+
+    def test_files_on_disk(self, tmp_path):
+        root = str(tmp_path / "c")
+        store = FileContainerStore(root, capacity=10_000)
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        assert os.path.exists(os.path.join(root, "container-00000001.hdsc"))

@@ -1,0 +1,131 @@
+"""Tests for the traditional mark-sweep-copy deletion baseline (§5.5 foil)."""
+
+import pytest
+
+from repro.core.verify import verify_system
+from repro.errors import DeletionError
+from repro.index import ExactFullIndex
+from repro.pipeline import GCDeletionManager
+from repro.pipeline.system import BackupSystem
+from repro.units import KiB
+from tests.conftest import make_stream
+
+
+def build(workload, container_size=64 * KiB):
+    system = BackupSystem(ExactFullIndex(), container_size=container_size)
+    for stream in workload.versions():
+        system.backup(stream)
+    return system
+
+
+class TestMarkPhase:
+    def test_scans_every_retained_recipe(self, small_workload):
+        system = build(small_workload)
+        stats = GCDeletionManager(system).delete_version(1)
+        assert stats.recipes_scanned == 7
+
+    def test_marks_only_exclusive_chunks_dead(self):
+        system = BackupSystem(ExactFullIndex(), container_size=16 * KiB)
+        system.backup(make_stream([1, 2, 3], size=1024))
+        system.backup(make_stream([2, 3, 4], size=1024))
+        stats = GCDeletionManager(system, utilization_threshold=1.0).delete_version(1)
+        assert stats.chunks_marked_dead == 1  # only chunk 1 is exclusive
+
+    def test_mark_time_recorded(self, small_workload):
+        system = build(small_workload)
+        stats = GCDeletionManager(system).delete_version(1)
+        assert stats.mark_seconds > 0
+
+
+class TestSweepAndCopy:
+    def test_fully_dead_container_deleted_without_copying(self):
+        system = BackupSystem(ExactFullIndex(), container_size=4 * KiB)
+        # v1's 4 chunks fill one container exactly; v2 shares nothing.
+        system.backup(make_stream([1, 2, 3, 4], size=1024))
+        system.backup(make_stream([5, 6, 7, 8], size=1024))
+        containers_before = len(system.containers)
+        stats = GCDeletionManager(system, utilization_threshold=1.0).delete_version(1)
+        assert stats.containers_deleted == 1
+        assert stats.bytes_copied == 0
+        assert len(system.containers) == containers_before - 1
+
+    def test_mixed_container_copy_gc_moves_live_chunks(self):
+        system = BackupSystem(ExactFullIndex(), container_size=4 * KiB)
+        system.backup(make_stream([1, 2, 3, 4], size=1024))  # one container
+        system.backup(make_stream([2, 3], size=1024))  # keeps 2, 3 alive
+        stats = GCDeletionManager(system, utilization_threshold=1.0).delete_version(1)
+        assert stats.containers_rewritten == 1
+        assert stats.bytes_copied == 2 * 1024
+        assert stats.bytes_reclaimed == 2 * 1024
+        assert stats.recipes_rewritten == 1
+        # The survivor still restores.
+        restored = list(system.restore_chunks(2))
+        assert len(restored) == 2
+
+    def test_threshold_zero_never_copies(self):
+        system = BackupSystem(ExactFullIndex(), container_size=4 * KiB)
+        system.backup(make_stream([1, 2, 3, 4], size=1024))
+        system.backup(make_stream([2, 3], size=1024))
+        stats = GCDeletionManager(system, utilization_threshold=0.0).delete_version(1)
+        assert stats.containers_rewritten == 0
+        assert stats.bytes_copied == 0
+
+    def test_retained_versions_restore_after_gc(self, small_workload):
+        system = build(small_workload)
+        gc = GCDeletionManager(system, utilization_threshold=1.0)
+        gc.delete_version(1)
+        gc.delete_version(2)
+        for version_id in system.version_ids():
+            restored = list(system.restore_chunks(version_id))
+            assert [c.fingerprint for c in restored] == small_workload.version(
+                version_id
+            ).fingerprints()
+        assert verify_system(system).ok
+
+    def test_index_learns_new_locations(self):
+        system = BackupSystem(ExactFullIndex(), container_size=4 * KiB)
+        system.backup(make_stream([1, 2, 3, 4], size=1024))
+        system.backup(make_stream([2, 3], size=1024))
+        GCDeletionManager(system, utilization_threshold=1.0).delete_version(1)
+        # Backing up the surviving chunks again must still deduplicate.
+        report = system.backup(make_stream([2, 3], size=1024))
+        assert report.unique_chunks == 0
+
+    def test_any_version_deletable(self, small_workload):
+        """Unlike HiDeStore, traditional GC can delete mid-history versions
+        (at its cost) — verify correctness when it does."""
+        system = build(small_workload)
+        GCDeletionManager(system, utilization_threshold=1.0).delete_version(4)
+        for version_id in system.version_ids():
+            restored = list(system.restore_chunks(version_id))
+            assert len(restored) == len(small_workload.version(version_id))
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self, small_workload):
+        system = build(small_workload)
+        with pytest.raises(DeletionError):
+            GCDeletionManager(system).delete_version(99)
+
+    def test_bad_threshold_rejected(self, small_workload):
+        system = build(small_workload)
+        with pytest.raises(DeletionError):
+            GCDeletionManager(system, utilization_threshold=2.0)
+
+
+class TestCostAsymmetry:
+    def test_gc_costs_grow_with_retained_history(self):
+        """The §5.5 point: traditional deletion scans ALL retained recipes."""
+        from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+        def run(versions):
+            workload = SyntheticWorkload(
+                WorkloadSpec(versions=versions, chunks_per_version=300, seed=3,
+                             modify_rate=0.05, delete_rate=0.02, insert_rate=0.03)
+            )
+            system = build(workload)
+            return GCDeletionManager(system).delete_version(1)
+
+        small = run(4)
+        large = run(12)
+        assert large.recipes_scanned > small.recipes_scanned

@@ -1,0 +1,38 @@
+"""Grand sweep: every scheme × every preset at small scale.
+
+The last line of defence: whatever combination a user picks, backup must
+account sanely and restore must return the exact original stream.
+"""
+
+import pytest
+
+from repro.metrics import exact_dedup_ratio
+from repro.pipeline import SCHEMES, build_scheme
+from repro.units import KiB
+from repro.workloads import load_preset, preset_names
+
+VERSIONS = 4
+CHUNKS = 150
+
+
+@pytest.mark.parametrize("preset", preset_names())
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_scheme_on_preset(scheme, preset):
+    workload = load_preset(preset, versions=VERSIONS, chunks_per_version=CHUNKS)
+    system = build_scheme(scheme, container_size=64 * KiB)
+    reports = [system.backup(stream) for stream in workload.versions()]
+
+    # Accounting sanity.
+    for report in reports:
+        assert report.total_chunks == report.unique_chunks + report.duplicate_chunks
+        assert 0 <= report.stored_bytes <= report.logical_bytes
+    exact = exact_dedup_ratio(workload.versions())
+    assert system.dedup_ratio <= exact + 1e-9
+    assert system.dedup_ratio >= 0.0
+
+    # Every version restores byte-sequence-exactly.
+    for version_id in system.version_ids():
+        restored = list(system.restore_chunks(version_id))
+        want = workload.version(version_id)
+        assert [c.fingerprint for c in restored] == want.fingerprints()
+        assert sum(c.size for c in restored) == want.logical_size

@@ -1,0 +1,185 @@
+"""Tests for metric definitions and the analysis harnesses."""
+
+import pytest
+
+from repro.analysis import (
+    format_observation_table,
+    fragmentation_growth,
+    measure_fragmentation,
+    run_observation,
+)
+from repro.core.hidestore import HiDeStore
+from repro.index import ExactFullIndex
+from repro.metrics import (
+    chunk_fragmentation_level,
+    containers_referenced,
+    dedup_ratio,
+    exact_dedup_ratio,
+    index_bytes_per_mb,
+    lookups_per_gb,
+    speed_factor,
+)
+from repro.pipeline.system import BackupSystem
+from repro.storage.recipe import Recipe, RecipeEntry
+from repro.units import GiB, KiB, MiB
+from tests.conftest import make_stream
+
+
+class TestDedupMetrics:
+    def test_dedup_ratio(self):
+        assert dedup_ratio(100, 25) == 0.75
+        assert dedup_ratio(0, 0) == 0.0
+
+    def test_exact_dedup_ratio(self):
+        streams = [make_stream([1, 2], size=100), make_stream([2, 3], size=100)]
+        # 4 chunks logical, 3 unique -> 25% eliminated.
+        assert exact_dedup_ratio(streams) == 0.25
+
+    def test_lookups_per_gb(self):
+        assert lookups_per_gb(1000, GiB) == 1000
+        assert lookups_per_gb(1000, 2 * GiB) == 500
+        assert lookups_per_gb(5, 0) == 0.0
+
+    def test_index_bytes_per_mb(self):
+        assert index_bytes_per_mb(28, MiB) == 28
+        assert index_bytes_per_mb(28, 0) == 0.0
+
+
+class TestRestoreMetrics:
+    def test_speed_factor(self):
+        assert speed_factor(4 * MiB, 1) == 4.0
+        assert speed_factor(4 * MiB, 4) == 1.0
+        assert speed_factor(MiB, 0) == 0.0
+
+    def test_cfl_perfect_packing(self):
+        entries = [RecipeEntry(bytes([i]) * 20, 1024, 1 + i // 4) for i in range(8)]
+        assert chunk_fragmentation_level(entries, container_bytes=4096) == 1.0
+
+    def test_cfl_degrades_with_scatter(self):
+        entries = [RecipeEntry(bytes([i]) * 20, 1024, 1 + i) for i in range(8)]
+        cfl = chunk_fragmentation_level(entries, container_bytes=4096)
+        assert cfl == pytest.approx(2 / 8)
+
+    def test_cfl_empty_is_perfect(self):
+        assert chunk_fragmentation_level([]) == 1.0
+
+    def test_containers_referenced(self):
+        recipe = Recipe(1)
+        for cid in (1, 2, 2, 0, -1):
+            recipe.append(bytes([cid % 7]) * 20, 10, cid)
+        assert containers_referenced(recipe) == 2
+
+
+class TestThroughputModel:
+    def test_backup_seconds_combines_seeks_and_writes(self):
+        from repro.metrics import modeled_backup_seconds
+        from repro.storage.io_model import DiskModel
+
+        model = DiskModel(index_lookup_seconds=0.01, transfer_bytes_per_second=100 * MiB)
+        seconds = modeled_backup_seconds(
+            logical_bytes=GiB, stored_bytes=100 * MiB, index_lookups=100, model=model
+        )
+        assert abs(seconds - (1.0 + 1.0)) < 1e-9
+
+    def test_sequential_index_bytes_cheaper_than_seeks(self):
+        from repro.metrics import modeled_backup_seconds
+
+        random_probe = modeled_backup_seconds(GiB, 0, index_lookups=1000)
+        sequential = modeled_backup_seconds(
+            GiB, 0, index_lookups=0, sequential_index_bytes=1000 * 4096
+        )
+        assert sequential < random_probe
+
+    def test_backup_throughput_inverse_of_seconds(self):
+        from repro.metrics import modeled_backup_seconds, modeled_backup_throughput
+
+        logical = 512 * MiB
+        seconds = modeled_backup_seconds(logical, 64 * MiB, 500)
+        assert abs(
+            modeled_backup_throughput(logical, 64 * MiB, 500)
+            - (logical / MiB) / seconds
+        ) < 1e-9
+
+    def test_restore_throughput(self):
+        from repro.metrics import modeled_restore_throughput
+        from repro.storage.io_model import DiskModel
+
+        model = DiskModel(seek_seconds=0.0, transfer_bytes_per_second=100 * MiB)
+        # Restoring 200 MiB logical by reading 100 MiB in 2 s... 1 s.
+        assert abs(
+            modeled_restore_throughput(200 * MiB, 10, 100 * MiB, model) - 200.0
+        ) < 1e-6
+
+    def test_zero_traffic_is_zero_throughput(self):
+        from repro.metrics import modeled_backup_throughput, modeled_restore_throughput
+
+        assert modeled_backup_throughput(0, 0, 0) == 0.0
+        assert modeled_restore_throughput(0, 0, 0) == 0.0
+
+
+class TestObservation:
+    def test_tag_counts_follow_recurrence(self):
+        streams = [
+            make_stream([1, 2, 3], tag="v1"),
+            make_stream([2, 3, 4], tag="v2"),
+            make_stream([3, 4, 5], tag="v3"),
+        ]
+        result = run_observation(streams)
+        assert result.versions == 3
+        # After v3: chunk1 tagged v1, chunk2 tagged v2, chunks 3-5 tagged v3.
+        assert result.counts[-1] == {1: 1, 2: 1, 3: 3}
+        assert result.tag_series(1) == [3, 1, 1]
+
+    def test_final_exclusive(self):
+        streams = [make_stream([1, 2]), make_stream([2])]
+        result = run_observation(streams)
+        assert result.final_exclusive(1) == 1
+
+    def test_decay_step_plateau(self):
+        streams = [
+            make_stream([1, 2, 3, 4]),
+            make_stream([3, 4]),
+            make_stream([3, 4]),
+        ]
+        result = run_observation(streams)
+        assert result.decay_step(1) == 1
+
+    def test_format_table_renders(self):
+        streams = [make_stream([1, 2]), make_stream([2, 3])]
+        table = format_observation_table(run_observation(streams))
+        assert "V1" in table and "v2" in table
+
+    def test_empty_observation(self):
+        result = run_observation([])
+        assert result.versions == 0
+        assert result.counts == []
+
+
+class TestFragmentationAnalysis:
+    def _traditional(self, workload):
+        system = BackupSystem(ExactFullIndex(), container_size=64 * KiB)
+        for stream in workload.versions():
+            system.backup(stream)
+        return system
+
+    def test_measure_traditional(self, small_workload):
+        system = self._traditional(small_workload)
+        frag = measure_fragmentation(system, 1)
+        assert frag.version_id == 1
+        assert frag.containers_referenced > 0
+        assert 0 < frag.cfl <= 1.0
+        assert frag.best_speed_factor > 0
+
+    def test_growth_over_versions(self, small_workload):
+        system = self._traditional(small_workload)
+        growth = fragmentation_growth(system)
+        assert len(growth) == 8
+        # Figure 2: newer versions reference at least as many containers.
+        assert growth[-1].containers_referenced >= growth[0].containers_referenced
+
+    def test_hidestore_newest_is_dense(self, small_workload):
+        system = HiDeStore(container_size=64 * KiB)
+        for stream in small_workload.versions():
+            system.backup(stream)
+        growth = fragmentation_growth(system)
+        assert growth[-1].cfl >= growth[0].cfl

@@ -1,0 +1,119 @@
+"""Tests for the multi-client HiDeStore service."""
+
+import pytest
+
+from repro.core import MultiClientHiDeStore, verify_system
+from repro.errors import ReproError, VersionNotFoundError
+from repro.units import KiB
+from repro.workloads import load_preset
+from tests.conftest import make_stream
+
+
+@pytest.fixture
+def service():
+    return MultiClientHiDeStore(container_size=64 * KiB)
+
+
+def populate(service, client, preset="kernel", versions=5):
+    for stream in load_preset(preset, versions=versions, chunks_per_version=300).versions():
+        service.backup(client, stream)
+
+
+class TestNamespaces:
+    def test_clients_created_on_demand(self, service):
+        service.backup("alice", make_stream([1, 2, 3], size=1024))
+        assert "alice" in service
+        assert service.clients() == ["alice"]
+
+    def test_client_histories_are_independent(self, service):
+        populate(service, "alice", "kernel")
+        populate(service, "bob", "gcc")
+        assert service.client("alice").version_ids() == [1, 2, 3, 4, 5]
+        assert service.client("bob").version_ids() == [1, 2, 3, 4, 5]
+
+    def test_per_client_history_depth(self, service):
+        service.client("mac-user", history_depth=2)
+        assert service.client("mac-user").history_depth == 2
+        with pytest.raises(ReproError):
+            service.client("mac-user", history_depth=3)
+
+    def test_empty_name_rejected(self, service):
+        with pytest.raises(ReproError):
+            service.client("")
+
+
+class TestSharedStore:
+    def test_container_ids_globally_unique(self, service):
+        populate(service, "alice")
+        populate(service, "bob")
+        alice_cids = set(service.client("alice").pool.container_ids())
+        bob_cids = set(service.client("bob").pool.container_ids())
+        assert not (alice_cids & bob_cids)
+
+    def test_shared_io_ledger(self, service):
+        populate(service, "alice")
+        result = service.restore("alice", 5)
+        assert result.container_reads > 0
+        assert result.speed_factor > 0
+
+    def test_no_cross_client_dedup_by_design(self, service):
+        stream = make_stream(list(range(50)), size=1024)
+        a = service.backup("alice", stream)
+        b = service.backup("bob", make_stream(list(range(50)), size=1024))
+        assert a.unique_chunks == 50
+        assert b.unique_chunks == 50  # same data, separate namespace
+
+    def test_within_client_dedup(self, service):
+        stream_tokens = list(range(50))
+        service.backup("alice", make_stream(stream_tokens, size=1024))
+        report = service.backup("alice", make_stream(stream_tokens, size=1024))
+        assert report.duplicate_chunks == 50
+
+
+class TestRestoreAndDelete:
+    def test_each_client_restores_correctly(self, service):
+        workloads = {
+            "alice": load_preset("kernel", versions=4, chunks_per_version=300),
+            "bob": load_preset("gcc", versions=4, chunks_per_version=300),
+        }
+        for name, workload in workloads.items():
+            for stream in workload.versions():
+                service.backup(name, stream)
+        for name, workload in workloads.items():
+            for version in (1, 4):
+                restored = list(service.restore_chunks(name, version))
+                assert [c.fingerprint for c in restored] == workload.version(
+                    version
+                ).fingerprints()
+
+    def test_deleting_one_client_leaves_others_intact(self, service):
+        workloads = {
+            "alice": load_preset("kernel", versions=5, chunks_per_version=300),
+            "bob": load_preset("gcc", versions=5, chunks_per_version=300),
+        }
+        for name, workload in workloads.items():
+            for stream in workload.versions():
+                service.backup(name, stream)
+        service.delete_oldest("alice")
+        service.delete_oldest("alice")
+        restored = list(service.restore_chunks("bob", 1))
+        assert [c.fingerprint for c in restored] == workloads["bob"].version(1).fingerprints()
+        assert verify_system(service.client("bob")).ok
+
+    def test_unknown_client_rejected(self, service):
+        with pytest.raises(VersionNotFoundError):
+            service.restore("ghost", 1)
+        with pytest.raises(VersionNotFoundError):
+            service.delete_oldest("ghost")
+
+
+class TestServiceAccounting:
+    def test_aggregate_ratio_and_report(self, service):
+        populate(service, "alice", "kernel")
+        populate(service, "bob", "gcc")
+        rows = service.per_client_report()
+        assert [r[0] for r in rows] == ["alice", "bob"]
+        assert all(r[1] == 5 for r in rows)
+        assert 0 < service.dedup_ratio < 1
+        assert service.stored_bytes() > 0
+        assert service.logical_bytes() > service.stored_bytes()

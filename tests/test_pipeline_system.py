@@ -1,0 +1,148 @@
+"""Tests for the traditional BackupSystem pipeline and scheme factories."""
+
+import pytest
+
+from repro.chunking.stream import BackupStream, Chunk, synthetic_fingerprint as fp
+from repro.errors import VersionNotFoundError
+from repro.index import DDFSIndex, ExactFullIndex
+from repro.metrics import exact_dedup_ratio
+from repro.pipeline import SCHEMES, BackupSystem, build_scheme
+from repro.restore import ContainerCacheRestore
+from repro.rewriting import CappingRewriter
+from repro.units import KiB
+from tests.conftest import make_stream
+
+
+def build(workload, index=None, **kwargs):
+    system = BackupSystem(
+        index if index is not None else ExactFullIndex(),
+        container_size=kwargs.pop("container_size", 64 * KiB),
+        **kwargs,
+    )
+    for stream in workload.versions():
+        system.backup(stream)
+    return system
+
+
+class TestBackup:
+    def test_exact_index_gives_exact_ratio(self, small_workload):
+        system = build(small_workload)
+        assert abs(system.dedup_ratio - exact_dedup_ratio(small_workload.versions())) < 1e-12
+
+    def test_reports_accumulate(self, small_workload):
+        system = build(small_workload)
+        assert system.report.versions == 8
+        assert len(system.report.per_version) == 8
+        assert system.report.logical_bytes == sum(
+            s.logical_size for s in small_workload.versions()
+        )
+
+    def test_per_version_report_fields(self, small_workload):
+        system = BackupSystem(ExactFullIndex(), container_size=64 * KiB)
+        report = system.backup(small_workload.version(1))
+        assert report.version_id == 1
+        assert report.total_chunks == 400
+        assert report.unique_chunks + report.duplicate_chunks == 400
+        assert report.stored_bytes <= report.logical_bytes
+        assert report.containers_written > 0
+        assert report.lookups_per_gb > 0
+
+    def test_intra_version_duplicates_absorbed_by_write_buffer(self):
+        system = BackupSystem(ExactFullIndex(), container_size=64 * KiB)
+        report = system.backup(make_stream([1, 2, 1, 1, 3], size=1024))
+        assert report.unique_chunks == 3
+        assert report.duplicate_chunks == 2
+
+    def test_rewriter_rewrites_count_in_report(self, small_workload):
+        system = BackupSystem(
+            ExactFullIndex(),
+            CappingRewriter(cap=1, segment_bytes=16 * KiB),
+            container_size=16 * KiB,
+        )
+        for stream in small_workload.versions():
+            report = system.backup(stream)
+        assert report.rewritten_chunks > 0
+        assert system.rewriter.stats.rewritten_chunks > 0
+
+    def test_containers_sealed_per_version(self, small_workload):
+        system = BackupSystem(ExactFullIndex(), container_size=64 * KiB)
+        system.backup(small_workload.version(1))
+        assert all(c.sealed for c in system.containers.iter_containers())
+
+
+class TestRestore:
+    def test_round_trip_every_version(self, small_workload):
+        system = build(small_workload)
+        for version_id in system.version_ids():
+            restored = list(system.restore_chunks(version_id))
+            want = small_workload.version(version_id)
+            assert [c.fingerprint for c in restored] == want.fingerprints()
+
+    def test_restore_accounting(self, small_workload):
+        system = build(small_workload)
+        result = system.restore(4)
+        assert result.chunks == len(small_workload.version(4))
+        assert result.container_reads > 0
+        assert result.speed_factor > 0
+
+    def test_restore_with_alternate_algorithm(self, small_workload):
+        system = build(small_workload)
+        restored = list(
+            system.restore_chunks(2, restorer=ContainerCacheRestore(cache_containers=4))
+        )
+        assert len(restored) == len(small_workload.version(2))
+
+    def test_unknown_version_raises(self):
+        system = BackupSystem(ExactFullIndex())
+        with pytest.raises(VersionNotFoundError):
+            system.restore(3)
+
+    def test_payload_round_trip(self):
+        system = BackupSystem(ExactFullIndex(), container_size=16 * KiB)
+        stream = BackupStream([Chunk(fp(t), 4, bytes([t] * 4)) for t in range(8)])
+        system.backup(stream)
+        out = list(system.restore_chunks(1))
+        assert [c.data for c in out] == [bytes([t] * 4) for t in range(8)]
+
+
+class TestFragmentationGrowth:
+    def test_new_versions_fragment_over_time(self, small_workload):
+        """Figure 2: the traditional pipeline scatters NEW versions."""
+        system = build(small_workload)
+        first = system.restore(1)
+        last = system.restore(8)
+        assert last.speed_factor <= first.speed_factor
+
+
+class TestSchemeFactories:
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_every_scheme_backs_up_and_restores(self, name, small_workload):
+        system = build_scheme(name, container_size=64 * KiB)
+        for stream in small_workload.versions():
+            system.backup(stream)
+        restored = list(system.restore_chunks(system.version_ids()[-1]))
+        assert [c.fingerprint for c in restored] == small_workload.version(8).fingerprints()
+        assert 0.0 < system.dedup_ratio < 1.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            build_scheme("zfs")
+
+    def test_index_kwargs_forwarded(self):
+        system = build_scheme("ddfs", index_kwargs=dict(cache_containers=7))
+        assert isinstance(system.index, DDFSIndex)
+        assert system.index.cache_containers == 7
+
+    def test_rewriter_kwargs_forwarded(self):
+        system = build_scheme("capping", rewriter_kwargs=dict(cap=3))
+        assert system.rewriter.cap == 3
+
+    def test_restorer_kwargs_forwarded(self):
+        system = build_scheme("baseline", restorer_kwargs=dict(area_bytes=1024))
+        assert system.restorer.area_bytes == 1024
+
+    def test_shared_io_ledger(self, small_workload):
+        system = build(small_workload)
+        assert system.io.container_writes > 0
+        assert system.containers.stats is system.io
+        assert system.recipes.stats is system.io

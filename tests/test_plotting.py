@@ -1,0 +1,79 @@
+"""Tests for the SVG chart generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.plotting import PALETTE, bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_valid_svg(self):
+        svg = line_chart(
+            {"a": [(1, 2.0), (2, 3.0), (3, 1.0)], "b": [(1, 0.5), (3, 4.0)]},
+            "Title", "x", "y",
+        )
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "Title" in svg
+        assert "a" in svg and "b" in svg
+
+    def test_writes_to_file(self, tmp_path):
+        path = str(tmp_path / "chart.svg")
+        line_chart({"s": [(0, 0.0), (1, 1.0)]}, "t", "x", "y", path=path)
+        with open(path) as handle:
+            assert handle.read().startswith("<svg")
+
+    def test_escapes_markup_in_labels(self):
+        svg = line_chart({"<evil>": [(0, 1.0)]}, 'a "<b>&', "x", "y")
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+    def test_single_point_series(self):
+        svg = line_chart({"one": [(5, 7.0)]}, "t", "x", "y")
+        assert "<circle" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({}, "t", "x", "y")
+        with pytest.raises(ReproError):
+            line_chart({"a": []}, "t", "x", "y")
+
+    def test_custom_colors(self):
+        svg = line_chart({"a": [(0, 1.0), (1, 2.0)]}, "t", "x", "y",
+                         colors=["#123456"])
+        assert "#123456" in svg
+
+
+class TestBarChart:
+    def test_renders_grouped_bars(self):
+        svg = bar_chart(
+            ["kernel", "gcc"],
+            {"ddfs": [0.9, 0.8], "hidestore": [0.91, 0.81]},
+            "Figure 8", "ratio",
+        )
+        assert svg.count("<rect") >= 5  # background + 4 bars + legend swatches
+        assert "kernel" in svg and "hidestore" in svg
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a", "b"], {"g": [1.0]}, "t", "y")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([], {}, "t", "y")
+
+    def test_zero_values_render(self):
+        svg = bar_chart(["a"], {"g": [0.0]}, "t", "y")
+        assert "<svg" in svg
+
+    def test_writes_to_file(self, tmp_path):
+        path = str(tmp_path / "bars.svg")
+        bar_chart(["a"], {"g": [1.0]}, "t", "y", path=path)
+        assert (tmp_path / "bars.svg").exists()
+
+
+class TestPalette:
+    def test_palette_is_hex_colors(self):
+        assert all(c.startswith("#") and len(c) == 7 for c in PALETTE)
+        assert len(set(PALETTE)) == len(PALETTE)

@@ -1,0 +1,147 @@
+"""Tests for recipes, entry CID semantics and recipe stores."""
+
+import pytest
+
+from repro.chunking.stream import synthetic_fingerprint
+from repro.errors import RecipeError
+from repro.storage.recipe import (
+    ACTIVE_CID,
+    FileRecipeStore,
+    MemoryRecipeStore,
+    Recipe,
+    RecipeEntry,
+    pack_recipe,
+    unpack_recipe,
+)
+from repro.units import RECIPE_ENTRY_SIZE
+
+
+def build_recipe(version=1, tag="v1", cids=(1, 0, -3)):
+    recipe = Recipe(version, tag)
+    for i, cid in enumerate(cids):
+        recipe.append(synthetic_fingerprint(i), 100 + i, cid)
+    return recipe
+
+
+class TestRecipeEntry:
+    def test_kind_predicates(self):
+        assert RecipeEntry(b"a" * 20, 1, 5).is_archival
+        assert RecipeEntry(b"a" * 20, 1, ACTIVE_CID).is_active
+        assert RecipeEntry(b"a" * 20, 1, -4).is_chained
+
+    def test_chained_version(self):
+        assert RecipeEntry(b"a" * 20, 1, -4).chained_version == 4
+
+    def test_chained_version_rejects_non_chain(self):
+        with pytest.raises(RecipeError):
+            RecipeEntry(b"a" * 20, 1, 3).chained_version
+
+
+class TestRecipe:
+    def test_version_must_be_positive(self):
+        with pytest.raises(RecipeError):
+            Recipe(0)
+
+    def test_default_tag(self):
+        assert Recipe(7).tag == "v7"
+
+    def test_logical_size_and_byte_size(self):
+        recipe = build_recipe()
+        assert recipe.logical_size == 100 + 101 + 102
+        assert recipe.byte_size == 3 * RECIPE_ENTRY_SIZE
+
+    def test_referenced_containers_in_first_use_order(self):
+        recipe = Recipe(1)
+        for cid in (5, 3, 5, 0, -2, 3):
+            recipe.append(synthetic_fingerprint(cid + 10), 1, cid)
+        assert recipe.referenced_containers() == [5, 3]
+
+    def test_len_and_iter(self):
+        recipe = build_recipe()
+        assert len(recipe) == 3
+        assert [e.size for e in recipe] == [100, 101, 102]
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        recipe = build_recipe(version=9, tag="snapshot-9", cids=(1, 0, -3, 42))
+        loaded = unpack_recipe(pack_recipe(recipe))
+        assert loaded.version_id == 9
+        assert loaded.tag == "snapshot-9"
+        assert [e.cid for e in loaded] == [1, 0, -3, 42]
+        assert [e.size for e in loaded] == [100, 101, 102, 103]
+        assert [e.fingerprint for e in loaded] == [
+            synthetic_fingerprint(i) for i in range(4)
+        ]
+
+    def test_negative_cids_survive(self):
+        recipe = build_recipe(cids=(-1, -100))
+        loaded = unpack_recipe(pack_recipe(recipe))
+        assert [e.cid for e in loaded] == [-1, -100]
+
+    def test_corrupt_blob_raises(self):
+        with pytest.raises(RecipeError):
+            unpack_recipe(b"garbage")
+
+    def test_bad_magic_raises(self):
+        blob = bytearray(pack_recipe(build_recipe()))
+        blob[:4] = b"ZZZZ"
+        with pytest.raises(RecipeError):
+            unpack_recipe(bytes(blob))
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryRecipeStore()
+    return FileRecipeStore(str(tmp_path / "recipes"))
+
+
+class TestRecipeStores:
+    def test_write_read_round_trip(self, store):
+        store.write(build_recipe(version=2))
+        loaded = store.read(2)
+        assert loaded.version_id == 2
+        assert len(loaded) == 3
+
+    def test_overwrite_allowed(self, store):
+        store.write(build_recipe(version=2, cids=(0,)))
+        store.write(build_recipe(version=2, cids=(7,)))
+        assert [e.cid for e in store.read(2)][0] == 7
+
+    def test_read_unknown_raises(self, store):
+        with pytest.raises(RecipeError):
+            store.read(5)
+
+    def test_delete(self, store):
+        store.write(build_recipe(version=1))
+        store.delete(1)
+        assert 1 not in store
+        with pytest.raises(RecipeError):
+            store.delete(1)
+
+    def test_version_ids_sorted_and_latest(self, store):
+        for v in (3, 1, 2):
+            store.write(build_recipe(version=v))
+        assert store.version_ids() == [1, 2, 3]
+        assert store.latest_version() == 3
+
+    def test_latest_of_empty_is_none(self, store):
+        assert store.latest_version() is None
+
+    def test_total_bytes(self, store):
+        store.write(build_recipe(version=1))
+        store.write(build_recipe(version=2))
+        assert store.total_bytes() == 2 * 3 * RECIPE_ENTRY_SIZE
+
+    def test_read_bills_recipe_read(self, store):
+        store.write(build_recipe(version=1))
+        before = store.stats.snapshot()
+        store.read(1)
+        assert store.stats.delta(before).recipe_reads == 1
+
+    def test_peek_does_not_bill(self, store):
+        store.write(build_recipe(version=1))
+        before = store.stats.snapshot()
+        store.peek(1)
+        assert store.stats.delta(before).recipe_reads == 0

@@ -1,0 +1,91 @@
+"""Tests for the report dataclasses and a trace-driven integration pass."""
+
+from repro.reports import BackupReport, SystemReport
+from repro.units import GiB, KiB, MiB
+
+
+class TestBackupReport:
+    def test_dedup_eliminated_bytes(self):
+        report = BackupReport(1, "v1", logical_bytes=1000, stored_bytes=300)
+        assert report.dedup_eliminated_bytes == 700
+
+    def test_lookups_per_gb(self):
+        report = BackupReport(1, "v1", logical_bytes=GiB, disk_index_lookups=500)
+        assert report.lookups_per_gb == 500.0
+
+    def test_lookups_per_gb_empty(self):
+        assert BackupReport(1, "v1").lookups_per_gb == 0.0
+
+
+class TestSystemReport:
+    def test_dedup_ratio(self):
+        report = SystemReport(logical_bytes=1000, stored_bytes=250)
+        assert report.dedup_ratio == 0.75
+
+    def test_dedup_ratio_empty(self):
+        assert SystemReport().dedup_ratio == 0.0
+
+    def test_index_bytes_per_mb(self):
+        report = SystemReport(logical_bytes=2 * MiB, index_memory_bytes=56)
+        assert report.index_bytes_per_mb == 28.0
+
+    def test_lookups_per_gb(self):
+        report = SystemReport(logical_bytes=2 * GiB, disk_index_lookups=100)
+        assert report.lookups_per_gb == 50.0
+
+    def test_per_version_accumulation(self):
+        report = SystemReport()
+        report.per_version.append(BackupReport(1, "a"))
+        report.per_version.append(BackupReport(2, "b"))
+        assert [r.version_id for r in report.per_version] == [1, 2]
+
+
+class TestTraceDrivenIntegration:
+    """Generate -> serialise -> replay -> backup -> restore, end to end."""
+
+    def test_trace_file_drives_identical_results(self, tmp_path, small_workload):
+        from repro.core import HiDeStore
+        from repro.workloads import iter_trace, write_trace
+
+        path = str(tmp_path / "w.trace")
+        write_trace(path, small_workload.versions())
+
+        direct = HiDeStore(container_size=64 * KiB)
+        for stream in small_workload.versions():
+            direct.backup(stream)
+
+        replayed = HiDeStore(container_size=64 * KiB)
+        for stream in iter_trace(path):
+            replayed.backup(stream)
+
+        assert replayed.dedup_ratio == direct.dedup_ratio
+        for version in (1, 8):
+            a = [c.fingerprint for c in direct.restore_chunks(version)]
+            b = [c.fingerprint for c in replayed.restore_chunks(version)]
+            assert a == b
+
+    def test_real_bytes_to_trace_to_simulation(self, tmp_path):
+        """Chunk real bytes, export the metadata trace, replay it."""
+        from repro.chunking import FastCDCChunker
+        from repro.core import HiDeStore
+        from repro.workloads import FileTreeGenerator, FileTreeSpec, read_trace, write_trace
+
+        generator = FileTreeGenerator(
+            FileTreeSpec(files=4, mean_file_size=16 * KiB, versions=3, seed=12)
+        )
+        chunker = FastCDCChunker(min_size=512, avg_size=2048, max_size=8192)
+        streams = [
+            chunker.chunk_stream([blob], tag=tag)
+            for tag, blob in generator.version_blobs()
+        ]
+        path = str(tmp_path / "real.trace")
+        write_trace(path, streams)
+        replayed = read_trace(path)
+
+        system = HiDeStore(container_size=64 * KiB)
+        for stream in replayed:
+            system.backup(stream)
+        assert system.report.versions == 3
+        assert 0 < system.dedup_ratio < 1
+        restored = list(system.restore_chunks(3))
+        assert [c.fingerprint for c in restored] == streams[2].fingerprints()

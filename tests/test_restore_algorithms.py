@@ -1,0 +1,205 @@
+"""Tests for restore algorithms: correctness + container-read behaviour."""
+
+import random
+
+import pytest
+
+from repro.chunking.stream import Chunk, synthetic_fingerprint
+from repro.errors import RestoreError
+from repro.restore import (
+    ALACCRestore,
+    ChunkCacheRestore,
+    ContainerCacheRestore,
+    FAARestore,
+    OptimalContainerCacheRestore,
+    make_restorer,
+)
+from repro.storage.container import Container
+from repro.storage.recipe import RecipeEntry
+
+KB = 1024
+
+ALGORITHMS = {
+    "container-lru": lambda: ContainerCacheRestore(cache_containers=4),
+    "chunk-lru": lambda: ChunkCacheRestore(cache_bytes=64 * KB),
+    "faa": lambda: FAARestore(area_bytes=64 * KB),
+    "alacc": lambda: ALACCRestore(
+        total_bytes=64 * KB, lookahead_bytes=64 * KB, min_faa_bytes=16 * KB, step_bytes=8 * KB
+    ),
+    "optimal": lambda: OptimalContainerCacheRestore(cache_containers=4),
+}
+
+
+class Layout:
+    """A synthetic container layout + a recipe referencing it."""
+
+    def __init__(self, assignments, chunk_size=KB, capacity=16 * KB):
+        """``assignments``: list of (token, cid) in recipe order."""
+        self.containers = {}
+        self.entries = []
+        self.reads = 0
+        for token, cid in assignments:
+            fp = synthetic_fingerprint(token)
+            container = self.containers.get(cid)
+            if container is None:
+                container = Container(cid, capacity)
+                self.containers[cid] = container
+            if fp not in container:
+                container.add(Chunk(fp, chunk_size))
+            self.entries.append(RecipeEntry(fp, chunk_size, cid))
+
+    def reader(self, cid):
+        self.reads += 1
+        return self.containers[cid]
+
+
+def sequential_layout(chunks=64, per_container=8):
+    return Layout([(t, 1 + t // per_container) for t in range(chunks)])
+
+
+def scattered_layout(chunks=64, containers=16, seed=3):
+    rng = random.Random(seed)
+    return Layout([(t, 1 + rng.randrange(containers)) for t in range(chunks)])
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestCorrectness:
+    def test_restores_exact_sequence(self, name):
+        layout = scattered_layout()
+        algorithm = ALGORITHMS[name]()
+        out = algorithm.run(layout.entries, layout.reader)
+        assert [c.fingerprint for c in out] == [e.fingerprint for e in layout.entries]
+        assert all(c.size == KB for c in out)
+
+    def test_handles_repeated_chunks(self, name):
+        layout = Layout([(1, 1), (2, 1), (1, 1), (2, 2), (1, 1)])
+        # token 2 appears in two containers (rewritten copy): both valid.
+        algorithm = ALGORITHMS[name]()
+        out = algorithm.run(layout.entries, layout.reader)
+        assert [c.fingerprint for c in out] == [e.fingerprint for e in layout.entries]
+
+    def test_empty_recipe(self, name):
+        algorithm = ALGORITHMS[name]()
+        assert algorithm.run([], lambda cid: None) == []
+
+    def test_rejects_unresolved_cids(self, name):
+        algorithm = ALGORITHMS[name]()
+        entries = [RecipeEntry(b"a" * 20, 1, 0)]
+        with pytest.raises(RestoreError):
+            algorithm.run(entries, lambda cid: None)
+
+    def test_sequential_layout_reads_each_container_once(self, name):
+        layout = sequential_layout()
+        algorithm = ALGORITHMS[name]()
+        algorithm.run(layout.entries, layout.reader)
+        assert layout.reads == len(layout.containers)
+
+
+class TestContainerCache:
+    def test_thrashes_when_working_set_exceeds_capacity(self):
+        # Round-robin over 8 containers with a 4-container LRU: every access
+        # misses.
+        layout = Layout([(t, 1 + (t % 8)) for t in range(64)])
+        ContainerCacheRestore(cache_containers=4).run(layout.entries, layout.reader)
+        assert layout.reads == 64
+
+    def test_large_cache_reads_once(self):
+        layout = Layout([(t, 1 + (t % 8)) for t in range(64)])
+        ContainerCacheRestore(cache_containers=8).run(layout.entries, layout.reader)
+        assert layout.reads == 8
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(RestoreError):
+            ContainerCacheRestore(cache_containers=0)
+
+
+class TestChunkCache:
+    def test_chunk_cache_survives_container_thrash(self):
+        # Same round-robin pattern: chunk cache keeps the actual chunks, so
+        # the second pass over the same tokens is free.
+        tokens = [(t, 1 + (t % 8)) for t in range(32)]
+        layout = Layout(tokens + tokens)
+        ChunkCacheRestore(cache_bytes=1024 * KB).run(layout.entries, layout.reader)
+        assert layout.reads == 8
+
+    def test_eviction_respects_byte_budget(self):
+        layout = Layout([(t, 1 + t // 4) for t in range(32)])
+        algorithm = ChunkCacheRestore(cache_bytes=4 * KB)
+        out = algorithm.run(layout.entries, layout.reader)
+        assert len(out) == 32  # correctness under heavy eviction
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(RestoreError):
+            ChunkCacheRestore(cache_bytes=0)
+
+
+class TestFAA:
+    def test_one_read_per_container_per_area(self):
+        # 64 chunks interleaving 8 containers; area covers 32 chunks.
+        layout = Layout([(t, 1 + (t % 8)) for t in range(64)])
+        FAARestore(area_bytes=32 * KB).run(layout.entries, layout.reader)
+        # Two areas x 8 containers each.
+        assert layout.reads == 16
+
+    def test_area_covering_everything_is_optimal(self):
+        layout = Layout([(t, 1 + (t % 8)) for t in range(64)])
+        FAARestore(area_bytes=1024 * KB).run(layout.entries, layout.reader)
+        assert layout.reads == 8
+
+    def test_oversized_chunk_spans_area(self):
+        # A chunk bigger than the area must still restore (one-entry spans).
+        layout = Layout([(1, 1), (2, 1)], chunk_size=8 * KB, capacity=64 * KB)
+        out = FAARestore(area_bytes=4 * KB).run(layout.entries, layout.reader)
+        assert len(out) == 2
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(RestoreError):
+            FAARestore(area_bytes=0)
+
+
+class TestALACC:
+    def test_lookahead_beats_plain_faa_on_interleaved_layout(self):
+        pattern = [(t, 1 + (t % 8)) for t in range(64)]
+        faa_layout = Layout(pattern)
+        FAARestore(area_bytes=16 * KB).run(faa_layout.entries, faa_layout.reader)
+        alacc_layout = Layout(pattern)
+        ALACCRestore(
+            total_bytes=32 * KB,
+            lookahead_bytes=64 * KB,
+            min_faa_bytes=8 * KB,
+            step_bytes=8 * KB,
+        ).run(alacc_layout.entries, alacc_layout.reader)
+        assert alacc_layout.reads < faa_layout.reads
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(RestoreError):
+            ALACCRestore(total_bytes=0)
+        with pytest.raises(RestoreError):
+            ALACCRestore(total_bytes=KB, min_faa_bytes=2 * KB)
+
+
+class TestOptimal:
+    def test_never_worse_than_lru(self):
+        rng = random.Random(11)
+        pattern = [(t % 24, 1 + rng.randrange(12)) for t in range(200)]
+        lru_layout = Layout(pattern)
+        ContainerCacheRestore(cache_containers=4).run(lru_layout.entries, lru_layout.reader)
+        opt_layout = Layout(pattern)
+        OptimalContainerCacheRestore(cache_containers=4).run(
+            opt_layout.entries, opt_layout.reader
+        )
+        assert opt_layout.reads <= lru_layout.reads
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(RestoreError):
+            OptimalContainerCacheRestore(cache_containers=0)
+
+
+class TestMakeRestorer:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_factory(self, name):
+        assert make_restorer(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_restorer("belady2")

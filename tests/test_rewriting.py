@@ -1,0 +1,266 @@
+"""Tests for the rewriting schemes (none, capping, CBR, CFL, FBW)."""
+
+import pytest
+
+from repro.chunking.stream import Chunk, synthetic_fingerprint
+from repro.errors import ReproError
+from repro.rewriting import (
+    CBRRewriter,
+    CFLRewriter,
+    CappingRewriter,
+    FBWRewriter,
+    NoRewriter,
+    make_rewriter,
+)
+
+KB = 1024
+
+
+def chunks(n, size=KB):
+    return [Chunk(synthetic_fingerprint(t), size) for t in range(n)]
+
+
+def scattered_lookups(n, containers):
+    """Duplicates spread round-robin over many containers (max fragmentation)."""
+    return [1 + (i % containers) for i in range(n)]
+
+
+ALL = {
+    "none": NoRewriter,
+    "capping": CappingRewriter,
+    "cbr": CBRRewriter,
+    "cfl": CFLRewriter,
+    "fbw": FBWRewriter,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+class TestUniversalContract:
+    def test_never_invents_duplicates(self, name):
+        rewriter = ALL[name]()
+        rewriter.begin_version(1)
+        batch = chunks(200)
+        lookups = [None if i % 3 else 1 for i in range(200)]
+        decisions = rewriter.decide(batch, lookups)
+        for looked, decided in zip(lookups, decisions):
+            if looked is None:
+                assert decided is None
+
+    def test_decisions_subset_of_lookups(self, name):
+        rewriter = ALL[name]()
+        rewriter.begin_version(1)
+        batch = chunks(100)
+        lookups = scattered_lookups(100, 10)
+        decisions = rewriter.decide(batch, lookups)
+        for looked, decided in zip(lookups, decisions):
+            assert decided is None or decided == looked
+
+    def test_length_mismatch_rejected(self, name):
+        rewriter = ALL[name]()
+        rewriter.begin_version(1)
+        with pytest.raises(ReproError):
+            rewriter.decide(chunks(3), [None, None])
+
+    def test_stats_track_duplicates(self, name):
+        rewriter = ALL[name]()
+        rewriter.begin_version(1)
+        batch = chunks(50)
+        lookups = [1] * 50
+        rewriter.decide(batch, lookups)
+        assert rewriter.stats.duplicate_chunks == 50
+        assert 0.0 <= rewriter.stats.rewrite_fraction <= 1.0
+
+
+class TestNoRewriter:
+    def test_identity(self):
+        rewriter = NoRewriter()
+        lookups = [1, None, 2]
+        assert rewriter.decide(chunks(3), lookups) == lookups
+        assert rewriter.stats.rewritten_chunks == 0
+
+
+class TestCapping:
+    def test_cap_bounds_referenced_containers_per_segment(self):
+        cap = 4
+        rewriter = CappingRewriter(cap=cap, segment_bytes=64 * KB)
+        batch = chunks(64)
+        lookups = scattered_lookups(64, 16)
+        decisions = rewriter.decide(batch, lookups)
+        referenced = {d for d in decisions if d is not None}
+        assert len(referenced) <= cap
+
+    def test_keeps_most_referenced_containers(self):
+        rewriter = CappingRewriter(cap=1, segment_bytes=64 * KB)
+        batch = chunks(10)
+        lookups = [7, 7, 7, 7, 7, 7, 8, 8, 9, 9]
+        decisions = rewriter.decide(batch, lookups)
+        assert decisions.count(7) == 6
+        assert 8 not in decisions and 9 not in decisions
+
+    def test_no_rewrites_when_under_cap(self):
+        rewriter = CappingRewriter(cap=20, segment_bytes=64 * KB)
+        batch = chunks(20)
+        lookups = [1 + (i % 3) for i in range(20)]
+        decisions = rewriter.decide(batch, lookups)
+        assert decisions == lookups
+
+    def test_segments_capped_independently(self):
+        # Two segments, each referencing 3 distinct containers with cap 2.
+        rewriter = CappingRewriter(cap=2, segment_bytes=5 * KB)
+        batch = chunks(10)
+        lookups = [1, 1, 2, 3, 3, 4, 4, 5, 6, 6]
+        decisions = rewriter.decide(batch, lookups)
+        first = {d for d in decisions[:5] if d is not None}
+        second = {d for d in decisions[5:] if d is not None}
+        assert len(first) <= 2 and len(second) <= 2
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ReproError):
+            CappingRewriter(cap=0)
+        with pytest.raises(ReproError):
+            CappingRewriter(segment_bytes=0)
+
+
+class TestCBR:
+    def test_budget_limits_rewritten_bytes(self):
+        rewriter = CBRRewriter(
+            stream_context_bytes=8 * KB,
+            minimal_utility=0.0,
+            rewrite_budget=0.10,
+            container_bytes=512 * KB,
+        )
+        rewriter.begin_version(1)
+        batch = chunks(100)
+        lookups = scattered_lookups(100, 50)
+        decisions = rewriter.decide(batch, lookups)
+        assert rewriter.stats.rewritten_bytes <= 0.10 * 100 * KB + KB
+
+    def test_dense_containers_not_rewritten(self):
+        # Every duplicate comes from container 1, which therefore supplies
+        # the whole stream context: utility 0, nothing rewritten.
+        rewriter = CBRRewriter(
+            stream_context_bytes=64 * KB,
+            minimal_utility=0.5,
+            rewrite_budget=1.0,
+            container_bytes=64 * KB,
+        )
+        batch = chunks(64)
+        lookups = [1] * 64
+        assert rewriter.decide(batch, lookups) == lookups
+
+    def test_sparse_containers_rewritten(self):
+        rewriter = CBRRewriter(
+            stream_context_bytes=16 * KB,
+            minimal_utility=0.7,
+            rewrite_budget=1.0,
+            container_bytes=1024 * KB,  # each container is barely used
+        )
+        batch = chunks(64)
+        lookups = scattered_lookups(64, 32)
+        decisions = rewriter.decide(batch, lookups)
+        assert decisions.count(None) > 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ReproError):
+            CBRRewriter(minimal_utility=1.5)
+        with pytest.raises(ReproError):
+            CBRRewriter(rewrite_budget=-0.1)
+
+
+class TestCFL:
+    def test_high_locality_stream_untouched(self):
+        rewriter = CFLRewriter(threshold=0.6, container_bytes=4 * KB, warmup_containers=2)
+        rewriter.begin_version(1)
+        batch = chunks(64)
+        # Sequential layout: 4 chunks per container, in order.
+        lookups = [1 + i // 4 for i in range(64)]
+        decisions = rewriter.decide(batch, lookups)
+        assert decisions == lookups
+
+    def test_fragmented_stream_triggers_selective_rewrite(self):
+        rewriter = CFLRewriter(threshold=0.6, container_bytes=4 * KB, warmup_containers=2)
+        rewriter.begin_version(1)
+        batch = chunks(64)
+        lookups = scattered_lookups(64, 40)  # 40 containers for 16 optimal
+        decisions = rewriter.decide(batch, lookups)
+        assert decisions.count(None) > 0
+
+    def test_warmup_suppresses_early_noise(self):
+        rewriter = CFLRewriter(threshold=0.99, container_bytes=4 * KB, warmup_containers=100)
+        rewriter.begin_version(1)
+        batch = chunks(16)
+        lookups = scattered_lookups(16, 16)
+        # Entirely inside warmup: nothing rewritten despite terrible CFL.
+        assert rewriter.decide(batch, lookups) == lookups
+
+    def test_state_resets_per_version(self):
+        rewriter = CFLRewriter(threshold=0.6, container_bytes=4 * KB, warmup_containers=0)
+        rewriter.begin_version(1)
+        rewriter.decide(chunks(64), scattered_lookups(64, 40))
+        rewriter.begin_version(2)
+        lookups = [1 + i // 4 for i in range(64)]
+        assert rewriter.decide(chunks(64), lookups) == lookups
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ReproError):
+            CFLRewriter(threshold=0.0)
+
+
+class TestFBW:
+    def test_whole_container_groups_rewritten(self):
+        rewriter = FBWRewriter(
+            window_bytes=64 * KB,
+            target_rewrite_ratio=1.0,
+            density_threshold=0.5,
+            container_bytes=64 * KB,
+        )
+        rewriter.begin_version(1)
+        batch = chunks(64)
+        lookups = scattered_lookups(64, 32)
+        decisions = rewriter.decide(batch, lookups)
+        # A container's references are either all kept or all rewritten.
+        kept = {}
+        for looked, decided in zip(lookups, decisions):
+            kept.setdefault(looked, set()).add(decided is not None)
+        assert all(len(v) == 1 for v in kept.values())
+
+    def test_budget_respected(self):
+        rewriter = FBWRewriter(
+            window_bytes=64 * KB,
+            target_rewrite_ratio=0.05,
+            density_threshold=1.0,
+            container_bytes=64 * KB,
+        )
+        rewriter.begin_version(1)
+        batch = chunks(100)
+        lookups = scattered_lookups(100, 100)
+        rewriter.decide(batch, lookups)
+        assert rewriter.stats.rewritten_bytes <= 0.05 * 100 * KB + KB
+
+    def test_dense_containers_safe(self):
+        rewriter = FBWRewriter(
+            window_bytes=64 * KB,
+            target_rewrite_ratio=1.0,
+            density_threshold=0.25,
+            container_bytes=64 * KB,
+        )
+        rewriter.begin_version(1)
+        batch = chunks(64)
+        lookups = [1] * 64  # container 1 supplies the whole window
+        assert rewriter.decide(batch, lookups) == lookups
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ReproError):
+            FBWRewriter(window_bytes=0)
+        with pytest.raises(ReproError):
+            FBWRewriter(density_threshold=0.0)
+
+
+class TestMakeRewriter:
+    @pytest.mark.parametrize("name", sorted(ALL))
+    def test_factory(self, name):
+        assert isinstance(make_rewriter(name), ALL[name])
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_rewriter("dedupv1")

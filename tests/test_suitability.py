@@ -1,0 +1,101 @@
+"""Tests for the workload-suitability tracer (§4's chunk-distribution trace)."""
+
+from repro.analysis import trace_suitability
+from repro.metrics import exact_dedup_ratio
+from repro.workloads import SyntheticWorkload, WorkloadSpec, load_preset
+from tests.conftest import make_stream
+
+
+class TestGapAccounting:
+    def test_adjacent_duplicates_have_gap_one(self):
+        report = trace_suitability([make_stream([1, 2]), make_stream([1, 2])])
+        assert report.reappear_bytes_by_gap == {1: 2048}
+        assert report.adjacent_duplicate_bytes == 2048
+
+    def test_skip_one_version_has_gap_two(self):
+        report = trace_suitability(
+            [make_stream([1]), make_stream([2]), make_stream([1])]
+        )
+        assert report.reappear_bytes_by_gap == {2: 1024}
+
+    def test_intra_version_repeats_count_as_adjacent(self):
+        report = trace_suitability([make_stream([1, 1, 1])])
+        assert report.adjacent_duplicate_bytes == 2048
+        assert report.unique_bytes == 1024
+
+    def test_exact_ratio_matches_metric(self, small_workload):
+        report = trace_suitability(small_workload.versions())
+        assert abs(
+            report.exact_dedup_ratio - exact_dedup_ratio(small_workload.versions())
+        ) < 1e-12
+
+
+class TestDepthEstimates:
+    def test_depth_one_loses_gap_two_bytes(self):
+        report = trace_suitability(
+            [make_stream([1]), make_stream([2]), make_stream([1])]
+        )
+        assert report.missed_bytes_at_depth(1) == 1024
+        assert report.missed_bytes_at_depth(2) == 0
+
+    def test_estimates_bracket_measured_hidestore_ratio(self, skip_workload):
+        """The tracer's depth estimate matches what HiDeStore measures."""
+        from repro.core.hidestore import HiDeStore
+        from repro.units import KiB
+
+        report = trace_suitability(skip_workload.versions())
+        for depth in (1, 2):
+            system = HiDeStore(container_size=64 * KiB, history_depth=depth)
+            for stream in skip_workload.versions():
+                system.backup(stream)
+            estimated = report.dedup_ratio_at_depth(depth)
+            # The estimate is a lower bound (it counts every long-gap return).
+            assert estimated <= system.dedup_ratio + 1e-9
+            assert system.dedup_ratio - estimated < 0.02
+
+    def test_recommended_depth_for_adjacent_workload_is_one(self, small_workload):
+        report = trace_suitability(small_workload.versions())
+        assert report.recommended_depth() == 1
+
+    def test_recommended_depth_grows_for_skip_workloads(self, skip_workload):
+        report = trace_suitability(skip_workload.versions())
+        assert report.recommended_depth(tolerance=0.001) >= 2
+
+    def test_macos_preset_wants_depth_two(self):
+        report = trace_suitability(load_preset("macos", versions=10).versions())
+        assert report.recommended_depth(tolerance=0.001) == 2
+
+
+class TestSuitability:
+    def test_versioned_workloads_are_suitable(self, small_workload):
+        assert trace_suitability(small_workload.versions()).is_suitable()
+
+    def test_long_cycle_workload_is_unsuitable(self):
+        # Duplicates only return after a 4-version cycle: HiDeStore's
+        # adjacent-version assumption does not hold.
+        streams = [
+            make_stream([1, 2]),
+            make_stream([3, 4]),
+            make_stream([5, 6]),
+            make_stream([7, 8]),
+            make_stream([1, 2]),
+            make_stream([3, 4]),
+        ]
+        report = trace_suitability(streams)
+        assert not report.is_suitable()
+        assert report.recommended_depth(tolerance=0.001, max_depth=8) >= 4
+
+    def test_no_redundancy_is_unsuitable(self):
+        report = trace_suitability([make_stream([1]), make_stream([2])])
+        assert not report.is_suitable()
+
+    def test_summary_renders(self, small_workload):
+        text = trace_suitability(small_workload.versions()).summary()
+        assert "recommended depth" in text
+        assert "suitable for HiDeStore" in text
+
+    def test_empty_workload(self):
+        report = trace_suitability([])
+        assert report.versions == 0
+        assert report.exact_dedup_ratio == 0.0
+        assert not report.is_suitable()

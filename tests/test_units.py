@@ -1,0 +1,77 @@
+"""Tests for repro.units: size formatting/parsing and constants."""
+
+import pytest
+
+from repro.units import (
+    AVERAGE_CHUNK_SIZE,
+    CONTAINER_SIZE,
+    FINGERPRINT_SIZE,
+    GiB,
+    KiB,
+    MiB,
+    RECIPE_ENTRY_SIZE,
+    format_bytes,
+    parse_bytes,
+)
+
+
+class TestConstants:
+    def test_paper_container_size_is_4mib(self):
+        assert CONTAINER_SIZE == 4 * MiB
+
+    def test_paper_fingerprint_is_sha1_width(self):
+        assert FINGERPRINT_SIZE == 20
+
+    def test_paper_recipe_entry_is_28_bytes(self):
+        # 20-byte fingerprint + 4-byte CID + 4-byte size (paper §2.1).
+        assert RECIPE_ENTRY_SIZE == 28
+
+    def test_unit_ladder(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+        assert AVERAGE_CHUNK_SIZE == 8 * KiB
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(4 * MiB) == "4.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(3 * GiB) == "3.0 GiB"
+
+    def test_huge_values_stay_tib(self):
+        assert format_bytes(5000 * GiB).endswith("TiB")
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("123", 123),
+            ("4MiB", 4 * MiB),
+            ("4MB", 4 * MiB),
+            ("8 kb", 8 * KiB),
+            ("1g", GiB),
+            ("2.5 MiB", int(2.5 * MiB)),
+            ("100b", 100),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "MiB", "12q"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_bytes(text)
+
+    def test_round_trip_with_format(self):
+        for value in (1, 2048, 4 * MiB, 3 * GiB):
+            assert parse_bytes(format_bytes(value)) == value

@@ -1,0 +1,165 @@
+"""Tests for verified restore, the delimited importer, and entry-range restore."""
+
+import pytest
+
+from repro.chunking.fingerprint import Fingerprinter
+from repro.chunking.stream import BackupStream, Chunk
+from repro.core import HiDeStore
+from repro.errors import RestoreError, WorkloadError
+from repro.index import ExactFullIndex
+from repro.pipeline.system import BackupSystem
+from repro.restore import VerifyingRestore
+from repro.units import KiB
+from repro.workloads import import_delimited
+from tests.conftest import make_stream
+
+
+def payload_stream(count=10, size=64):
+    fingerprinter = Fingerprinter()
+    return BackupStream(
+        [fingerprinter.chunk(bytes([i]) * size) for i in range(count)]
+    )
+
+
+class TestVerifyingRestore:
+    def test_clean_restore_verifies(self):
+        system = HiDeStore(container_size=16 * KiB)
+        system.backup(payload_stream())
+        restorer = VerifyingRestore()
+        out = list(system.restore_chunks(1, restorer=restorer))
+        assert len(out) == 10
+        assert restorer.chunks_verified == 10
+        assert restorer.chunks_unverifiable == 0
+
+    def test_detects_payload_corruption(self):
+        system = HiDeStore(container_size=16 * KiB)
+        system.backup(payload_stream())
+        # Flip a byte inside a stored payload, keeping the recorded metadata.
+        container = next(iter(system.pool.iter_containers()))
+        fp, slot = next(container.items())
+        container._slots[fp] = type(slot)(slot.offset, slot.size, b"\xff" * slot.size)
+        with pytest.raises(RestoreError, match="integrity failure"):
+            list(system.restore_chunks(1, restorer=VerifyingRestore()))
+
+    def test_metadata_only_passthrough(self, small_workload):
+        system = HiDeStore(container_size=64 * KiB)
+        system.backup(small_workload.version(1))
+        restorer = VerifyingRestore()
+        out = list(system.restore_chunks(1, restorer=restorer))
+        assert len(out) == 400
+        assert restorer.chunks_unverifiable == 400
+
+    def test_metadata_only_rejected_when_required(self, small_workload):
+        system = HiDeStore(container_size=64 * KiB)
+        system.backup(small_workload.version(1))
+        with pytest.raises(RestoreError, match="no payload"):
+            list(
+                system.restore_chunks(
+                    1, restorer=VerifyingRestore(require_payload=True)
+                )
+            )
+
+
+class TestImportDelimited:
+    def test_basic_two_versions(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        path.write_text(
+            "#version snap-a\n"
+            "aabb 1000\n"
+            "ccdd 2000\n"
+            "#version snap-b\n"
+            "aabb 1000\n"
+            "eeff 3000\n"
+        )
+        streams = import_delimited(str(path))
+        assert [s.tag for s in streams] == ["snap-a", "snap-b"]
+        assert streams[0][0].size == 1000
+        assert streams[0][0].fingerprint == bytes.fromhex("aabb").ljust(20, b"\x00")
+        assert streams[0][0].fingerprint == streams[1][0].fingerprint
+
+    def test_custom_columns_and_delimiter(self, tmp_path):
+        path = tmp_path / "dump.csv"
+        path.write_text("#version v1\n4096,cafe\n8192,beef\n")
+        streams = import_delimited(
+            str(path), fingerprint_field=1, size_field=0, delimiter=","
+        )
+        assert [c.size for c in streams[0]] == [4096, 8192]
+
+    def test_no_size_column_uses_default(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        path.write_text("#version v1\nabcd\n")
+        streams = import_delimited(str(path), size_field=-1, default_size=4096)
+        assert streams[0][0].size == 4096
+
+    def test_implicit_first_version_and_comments(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        path.write_text("# a comment\naabb 100\n")
+        streams = import_delimited(str(path))
+        assert len(streams) == 1
+        assert streams[0].tag == "v1"
+
+    def test_long_digests_truncated_to_sha1_width(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        digest = "ab" * 32  # 64 hex chars = SHA-256 width
+        path.write_text(f"#version v1\n{digest} 128\n")
+        streams = import_delimited(str(path))
+        assert len(streams[0][0].fingerprint) == 20
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        path.write_text("#version v1\nzzzz notanumber\n")
+        with pytest.raises(WorkloadError, match="dump.txt:2"):
+            import_delimited(str(path))
+
+    def test_imported_trace_backs_up(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        path.write_text(
+            "#version v1\naa11 1000\nbb22 1000\n"
+            "#version v2\naa11 1000\ncc33 1000\n"
+        )
+        system = HiDeStore(container_size=16 * KiB)
+        for stream in import_delimited(str(path)):
+            system.backup(stream)
+        report = system.report
+        assert report.versions == 2
+        assert report.stored_bytes == 3000  # aa11 deduplicated
+
+
+class TestRestoreEntryRange:
+    def test_traditional_slice(self, small_workload):
+        system = BackupSystem(ExactFullIndex(), container_size=64 * KiB)
+        system.backup(small_workload.version(1))
+        want = small_workload.version(1).fingerprints()[10:20]
+        out = list(system.restore_entry_range(1, 10, 20))
+        assert [c.fingerprint for c in out] == want
+
+    def test_hidestore_slice_old_version(self, small_workload):
+        system = HiDeStore(container_size=64 * KiB)
+        for stream in small_workload.versions():
+            system.backup(stream)
+        want = small_workload.version(2).fingerprints()[50:75]
+        out = list(system.restore_entry_range(2, 50, 75))
+        assert [c.fingerprint for c in out] == want
+
+    def test_slice_reads_fewer_containers_than_full(self, small_workload):
+        system = HiDeStore(container_size=16 * KiB)
+        for stream in small_workload.versions():
+            system.backup(stream)
+        before = system.io.snapshot()
+        list(system.restore_entry_range(8, 0, 10))
+        partial = system.io.delta(before).container_reads
+        before = system.io.snapshot()
+        list(system.restore_chunks(8))
+        full = system.io.delta(before).container_reads
+        assert partial < full
+
+    def test_unknown_version_rejected(self):
+        from repro.errors import VersionNotFoundError
+
+        with pytest.raises(VersionNotFoundError):
+            list(HiDeStore().restore_entry_range(1, 0, 5))
+
+    def test_empty_slice(self, small_workload):
+        system = HiDeStore(container_size=64 * KiB)
+        system.backup(small_workload.version(1))
+        assert list(system.restore_entry_range(1, 5, 5)) == []

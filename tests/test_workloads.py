@@ -1,0 +1,242 @@
+"""Tests for workload generation: synthetic model, presets, traces, file trees."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics import exact_dedup_ratio
+from repro.workloads import (
+    PRESETS,
+    FileTreeGenerator,
+    FileTreeSpec,
+    SyntheticWorkload,
+    WorkloadSpec,
+    history_depth_for,
+    iter_trace,
+    load_preset,
+    preset_names,
+    rates_for_target_ratio,
+    read_trace,
+    token_size,
+    write_trace,
+)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(versions=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(chunks_per_version=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(modify_rate=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(major_factor=0.5)
+
+    def test_new_data_rate(self):
+        spec = WorkloadSpec(modify_rate=0.03, insert_rate=0.02)
+        assert abs(spec.new_data_rate - 0.05) < 1e-12
+
+
+class TestSyntheticWorkload:
+    def test_version_count_and_tags(self):
+        workload = SyntheticWorkload(WorkloadSpec(name="w", versions=4, chunks_per_version=50))
+        streams = workload.all_versions()
+        assert len(streams) == 4
+        assert [s.tag for s in streams] == [f"w-v{k}" for k in range(1, 5)]
+
+    def test_deterministic_regeneration(self):
+        spec = WorkloadSpec(versions=5, chunks_per_version=100, seed=3)
+        a = SyntheticWorkload(spec).all_versions()
+        b = SyntheticWorkload(spec).all_versions()
+        for sa, sb in zip(a, b):
+            assert sa.fingerprints() == sb.fingerprints()
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWorkload(WorkloadSpec(versions=3, chunks_per_version=100, seed=1))
+        b = SyntheticWorkload(WorkloadSpec(versions=3, chunks_per_version=100, seed=2))
+        assert a.version(2).fingerprints() != b.version(2).fingerprints()
+
+    def test_adjacent_versions_highly_similar(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(versions=3, chunks_per_version=500, modify_rate=0.02,
+                         delete_rate=0.01, insert_rate=0.01)
+        )
+        v1 = set(workload.version(1).fingerprints())
+        v2 = set(workload.version(2).fingerprints())
+        assert len(v1 & v2) > 0.9 * len(v1)
+
+    def test_modified_chunks_never_return(self):
+        """The §3 observation, enforced by the generator (skip_rate=0)."""
+        workload = SyntheticWorkload(
+            WorkloadSpec(versions=6, chunks_per_version=300, modify_rate=0.1, seed=5)
+        )
+        streams = workload.all_versions()
+        seen_sets = [set(s.fingerprints()) for s in streams]
+        for k in range(1, len(seen_sets) - 1):
+            gone = seen_sets[k - 1] - seen_sets[k]
+            for later in seen_sets[k + 1 :]:
+                assert not (gone & later)
+
+    def test_skip_rate_brings_chunks_back_exactly_one_version_later(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(versions=6, chunks_per_version=300, modify_rate=0.0,
+                         delete_rate=0.2, insert_rate=0.0, skip_rate=1.0, seed=9)
+        )
+        streams = workload.all_versions()
+        sets = [set(s.fingerprints()) for s in streams]
+        gone_v2 = sets[0] - sets[1]
+        assert gone_v2  # something was removed
+        assert gone_v2 <= sets[2]  # and all of it returned in v3
+
+    def test_version_index_bounds(self):
+        workload = SyntheticWorkload(WorkloadSpec(versions=2, chunks_per_version=10))
+        with pytest.raises(WorkloadError):
+            workload.version(0)
+        with pytest.raises(WorkloadError):
+            workload.version(3)
+
+    def test_major_upgrade_amplifies_churn(self):
+        quiet = SyntheticWorkload(
+            WorkloadSpec(versions=3, chunks_per_version=400, modify_rate=0.05, seed=4)
+        )
+        noisy = SyntheticWorkload(
+            WorkloadSpec(versions=3, chunks_per_version=400, modify_rate=0.05,
+                         major_every=1, major_factor=5.0, seed=4)
+        )
+        assert exact_dedup_ratio(noisy.versions()) < exact_dedup_ratio(quiet.versions())
+
+    def test_expected_dedup_ratio_matches_metric(self):
+        workload = SyntheticWorkload(WorkloadSpec(versions=4, chunks_per_version=200))
+        assert abs(
+            workload.expected_dedup_ratio() - exact_dedup_ratio(workload.versions())
+        ) < 1e-12
+
+    def test_token_size_bounds(self):
+        for token in range(100):
+            size = token_size(token, 8192)
+            assert 4096 <= size < 12288
+
+
+class TestRatesForTargetRatio:
+    def test_hits_target_ratio(self):
+        rates = rates_for_target_ratio(0.90, versions=30)
+        workload = SyntheticWorkload(
+            WorkloadSpec(versions=30, chunks_per_version=2000, seed=8, **rates)
+        )
+        assert abs(exact_dedup_ratio(workload.versions()) - 0.90) < 0.03
+
+    def test_unreachable_target_clamps_to_zero(self):
+        rates = rates_for_target_ratio(0.95, versions=4)
+        assert rates["modify_rate"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            rates_for_target_ratio(1.5, versions=10)
+        with pytest.raises(WorkloadError):
+            rates_for_target_ratio(0.9, versions=1)
+
+
+class TestPresets:
+    def test_table1_names(self):
+        assert preset_names() == ["kernel", "gcc", "fslhomes", "macos"]
+        assert set(PRESETS) == set(preset_names())
+
+    @pytest.mark.parametrize("name", ["kernel", "gcc", "fslhomes", "macos"])
+    def test_default_run_reproduces_table1_ratio(self, name):
+        workload = load_preset(name, chunks_per_version=1500)
+        measured = exact_dedup_ratio(workload.versions())
+        assert abs(measured - PRESETS[name].paper_dedup_ratio) < 0.04
+
+    def test_macos_needs_history_depth_two(self):
+        assert history_depth_for("macos") == 2
+        assert history_depth_for("kernel") == 1
+
+    def test_version_override_keeps_churn(self):
+        short = load_preset("kernel", versions=6, chunks_per_version=500)
+        streams = short.all_versions()
+        assert len(streams) == 6
+        # Churn is intrinsic: adjacent versions differ.
+        assert set(streams[0].fingerprints()) != set(streams[1].fingerprints())
+
+    def test_tune_to_versions(self):
+        tuned = load_preset("gcc", versions=40, chunks_per_version=400, tune_to_versions=True)
+        measured = exact_dedup_ratio(tuned.versions())
+        assert abs(measured - PRESETS["gcc"].paper_dedup_ratio) < 0.05
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(WorkloadError):
+            load_preset("windows")
+        with pytest.raises(WorkloadError):
+            history_depth_for("windows")
+
+
+class TestTraceFormat:
+    def test_round_trip(self, tmp_path, small_workload):
+        path = str(tmp_path / "w.trace")
+        count = write_trace(path, small_workload.versions())
+        assert count == 8
+        loaded = read_trace(path)
+        for original, restored in zip(small_workload.versions(), loaded):
+            assert restored.tag == original.tag
+            assert restored.fingerprints() == original.fingerprints()
+            assert [c.size for c in restored] == [c.size for c in original]
+
+    def test_iter_trace_streams_versions(self, tmp_path, small_workload):
+        path = str(tmp_path / "w.trace")
+        write_trace(path, small_workload.versions())
+        tags = [s.tag for s in iter_trace(path)]
+        assert len(tags) == 8
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(WorkloadError):
+            read_trace(str(path))
+
+    def test_chunk_before_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# hidestore-trace v1\naabb 100\n")
+        with pytest.raises(WorkloadError):
+            read_trace(str(path))
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# hidestore-trace v1\nV v1\nzzzz\n")
+        with pytest.raises(WorkloadError):
+            read_trace(str(path))
+
+
+class TestFileTreeGenerator:
+    def test_deterministic(self):
+        spec = FileTreeSpec(files=4, mean_file_size=2048, versions=3, seed=2)
+        a = list(FileTreeGenerator(spec).versions())
+        b = list(FileTreeGenerator(spec).versions())
+        assert a == b
+
+    def test_versions_evolve_but_share_content(self):
+        spec = FileTreeSpec(files=4, mean_file_size=8192, versions=2, seed=3)
+        v1, v2 = list(FileTreeGenerator(spec).versions())
+        shared = set(v1) & set(v2)
+        assert shared
+        assert any(v1[name] != v2[name] for name in shared)
+
+    def test_version_blobs_concatenate_sorted(self):
+        spec = FileTreeSpec(files=3, mean_file_size=1024, versions=1, seed=4)
+        generator = FileTreeGenerator(spec)
+        tree = next(generator.versions())
+        tag, blob = next(generator.version_blobs())
+        assert blob == b"".join(tree[k] for k in sorted(tree))
+        assert tag == "tree-v1"
+
+    def test_write_version(self, tmp_path):
+        spec = FileTreeSpec(files=3, mean_file_size=512, versions=1, seed=5)
+        generator = FileTreeGenerator(spec)
+        tree = next(generator.versions())
+        written = generator.write_version(tree, str(tmp_path / "out"))
+        assert len(written) == 3
+        for path in written:
+            assert (tmp_path / "out").exists()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FileTreeSpec(files=0)
