@@ -9,11 +9,10 @@ traditional dedup and its absence under HiDeStore for new versions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List
 
-from ..core.hidestore import HiDeStore
 from ..metrics.restore import chunk_fragmentation_level, speed_factor
-from ..pipeline.system import BackupSystem
+from ..pipeline.base import BackupEngine
 from ..units import CONTAINER_SIZE, MiB
 
 
@@ -33,16 +32,10 @@ class VersionFragmentation:
 
 
 def measure_fragmentation(
-    system: Union[BackupSystem, HiDeStore], version_id: int
+    system: BackupEngine, version_id: int
 ) -> VersionFragmentation:
     """Fragmentation of one version's *resolved* physical layout."""
-    if isinstance(system, HiDeStore):
-        system.chain.flatten()
-        recipe = system.recipes.peek(version_id)
-        entries = system._resolve_entries(recipe)
-    else:
-        recipe = system.recipes.peek(version_id)
-        entries = recipe.entries
+    entries = system.resolved_entries(version_id)
     logical = sum(e.size for e in entries)
     referenced = len({e.cid for e in entries if e.cid > 0})
     container_bytes = getattr(system, "container_size", CONTAINER_SIZE)
@@ -54,6 +47,6 @@ def measure_fragmentation(
     )
 
 
-def fragmentation_growth(system: Union[BackupSystem, HiDeStore]) -> List[VersionFragmentation]:
+def fragmentation_growth(system: BackupEngine) -> List[VersionFragmentation]:
     """Fragmentation of every stored version, oldest first."""
     return [measure_fragmentation(system, v) for v in system.version_ids()]

@@ -45,6 +45,11 @@ class Fingerprinter:
         self.width = width
         self._digest = _ALGORITHMS[algorithm]
 
+    def __reduce__(self):
+        # The digest callable is a module-level lambda and unpicklable;
+        # reconstruct from (algorithm, width) so process pools can ship us.
+        return (Fingerprinter, (self.algorithm, self.width))
+
     def fingerprint(self, data: bytes) -> bytes:
         """Digest ``data`` to exactly ``self.width`` bytes."""
         raw = self._digest(data)

@@ -1,0 +1,192 @@
+"""Vectorized FastCDC boundary detection (numpy-accelerated, exact).
+
+The scalar :meth:`~repro.chunking.fastcdc.FastCDCChunker.next_cut` walks one
+byte at a time through the Python interpreter, which caps ingest throughput
+at a few MB/s and dwarfs every other stage of the backup pipeline.  This
+module computes the *same* cut points with numpy, two orders of magnitude
+faster, by exploiting a property of the gear hash: because each step shifts
+the 64-bit state left by one, a byte stops influencing the hash after 64
+steps.  The chunk-local hash at position ``p`` therefore equals the
+*windowed* hash
+
+    ``W[p] = sum_{j=0}^{63} gear[data[p-j]] << j   (mod 2**64)``
+
+whenever at least 64 bytes of the current chunk have been hashed — i.e. for
+positions ``>= min_size + 63`` relative to the chunk start.  ``W`` depends
+only on the data, not on chunk boundaries, so it can be computed once for
+the whole buffer (by log-doubling, six vector passes) and every chunk
+boundary found by searching precomputed mask-hit position arrays.  The
+first 63 positions of each chunk, where the window is still filling, are
+walked with the scalar loop; everything after is a ``searchsorted``.
+
+:func:`split_fast` is a drop-in replacement for ``chunker.split`` that
+falls back to the scalar path for non-FastCDC chunkers, small buffers, or
+when numpy is unavailable — callers never need to gate on ``HAVE_NUMPY``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .base import BaseChunker
+from .fastcdc import _MASK64, FastCDCChunker
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+    HAVE_NUMPY = False
+
+#: Gear-hash memory: one left-shift per byte over 64-bit state.
+_WINDOW = 64
+
+#: Tile size for the windowed-hash pass.  Small enough that the uint64
+#: working set (~8x this) stays cache-resident: 128 KiB tiles run ~5x
+#: faster than multi-MiB ones on a single core.
+_TILE = 128 * 1024
+
+#: Below this, scalar chunking wins (vector setup cost dominates).
+_MIN_VECTOR_BYTES = 64 * 1024
+
+
+def _gear_array(chunker: FastCDCChunker):
+    cached = getattr(chunker, "_gear_np", None)
+    if cached is None:
+        cached = _np.array(chunker._gear, dtype=_np.uint64)
+        chunker._gear_np = cached
+    return cached
+
+
+def _window_hashes(gear_np, block, scratch) -> "object":
+    """``W[p]`` for every position of ``block``, by log-doubling.
+
+    After the six passes each ``W[p]`` covers window ``j in [0, 63]``;
+    positions ``p < 63`` hold partial windows and must not be queried.
+    ``scratch`` is a reusable uint64 buffer at least ``len(block)`` long.
+    """
+    w = gear_np[_np.frombuffer(block, dtype=_np.uint8)]
+    n = w.shape[0]
+    for k in (1, 2, 4, 8, 16, 32):
+        shifted = scratch[: n - k]
+        _np.left_shift(w[: n - k], _np.uint64(k), out=shifted)
+        _np.add(w[k:], shifted, out=w[k:])
+    return w
+
+
+def _hit_positions(chunker: FastCDCChunker, data: bytes) -> Tuple["object", "object"]:
+    """Sorted absolute positions where ``W[p] & mask == 0``, per mask.
+
+    Computed tile-by-tile with a 63-byte prefix overlap so every queried
+    position sees a complete window regardless of tile boundaries.
+    """
+    gear_np = _gear_array(chunker)
+    mask_small = _np.uint64(chunker.mask_small)
+    mask_large = _np.uint64(chunker.mask_large)
+    small_parts = []
+    large_parts = []
+    view = memoryview(data)
+    total = len(data)
+    scratch = _np.empty(min(total, _TILE) + _WINDOW, dtype=_np.uint64)
+    start = 0
+    while start < total:
+        stop = min(start + _TILE, total)
+        lead = min(start, _WINDOW - 1)
+        w = _window_hashes(gear_np, view[start - lead : stop], scratch)[lead:]
+        small_parts.append(_np.flatnonzero((w & mask_small) == 0) + start)
+        large_parts.append(_np.flatnonzero((w & mask_large) == 0) + start)
+        start = stop
+    empty = _np.empty(0, dtype=_np.int64)
+    small = _np.concatenate(small_parts) if small_parts else empty
+    large = _np.concatenate(large_parts) if large_parts else empty
+    return small, large
+
+
+def _first_hit(positions, lo: int, hi: int) -> Optional[int]:
+    """Smallest element of sorted ``positions`` in ``[lo, hi)``, if any."""
+    i = int(_np.searchsorted(positions, lo, side="left"))
+    if i < positions.shape[0] and positions[i] < hi:
+        return int(positions[i])
+    return None
+
+
+def vector_cuts(chunker: FastCDCChunker, data: bytes) -> List[int]:
+    """Chunk lengths of ``data``, bit-identical to the scalar chunker.
+
+    Equivalent to collecting ``len(piece) for piece in chunker.iter_split``
+    — same normalized-chunking mask switch at ``avg_size``, same forced cut
+    at ``max_size``, same short final tail.
+    """
+    small_pos, large_pos = _hit_positions(chunker, data)
+    gear = chunker._gear
+    mask_small = chunker.mask_small
+    mask_large = chunker.mask_large
+    min_size = chunker.min_size
+    avg_size = chunker.avg_size
+    max_size = chunker.max_size
+    # First chunk-relative position where W[] equals the chunk-local hash:
+    # the window has shifted the pre-min_size void fully out of the state.
+    warm_end = min_size + _WINDOW - 1
+
+    total = len(data)
+    cuts: List[int] = []
+    s = 0
+    while s < total:
+        available = total - s
+        limit = min(available, max_size)
+        if limit <= min_size:
+            cuts.append(available if available <= max_size else max_size)
+            s += cuts[-1]
+            continue
+        normal = min(avg_size, limit)
+        cut = None
+        # Scalar warmup over the partial-window prefix of this chunk.
+        h = 0
+        pos = min_size
+        scalar_end = min(limit, warm_end)
+        while pos < scalar_end:
+            h = ((h << 1) + gear[data[s + pos]]) & _MASK64
+            if not (h & (mask_small if pos < normal else mask_large)):
+                cut = pos + 1
+                break
+            pos += 1
+        if cut is None and warm_end < limit:
+            if warm_end < normal:
+                p = _first_hit(small_pos, s + warm_end, s + normal)
+                if p is not None:
+                    cut = p - s + 1
+            if cut is None:
+                p = _first_hit(large_pos, s + max(normal, warm_end), s + limit)
+                if p is not None:
+                    cut = p - s + 1
+        if cut is None:
+            cut = max_size if limit == max_size else available
+        cuts.append(cut)
+        s += cut
+    return cuts
+
+
+def split_fast(chunker: BaseChunker, data: bytes) -> List[bytes]:
+    """``chunker.split(data)``, vectorized when it is safe to do so.
+
+    The vector path is taken only for a plain :class:`FastCDCChunker`
+    (subclasses may override ``next_cut``), with numpy present, on buffers
+    large enough to amortise the windowed-hash pass.  Output is always
+    byte-identical to the scalar path.
+    """
+    if (
+        not HAVE_NUMPY
+        or type(chunker) is not FastCDCChunker
+        or len(data) < _MIN_VECTOR_BYTES
+    ):
+        return chunker.split(bytes(data) if not isinstance(data, bytes) else data)
+    if not isinstance(data, bytes):
+        data = bytes(data)
+    view = memoryview(data)
+    pieces: List[bytes] = []
+    offset = 0
+    for cut in vector_cuts(chunker, data):
+        pieces.append(bytes(view[offset : offset + cut]))
+        offset += cut
+    return pieces

@@ -18,13 +18,16 @@ The public surface mirrors :class:`repro.pipeline.system.BackupSystem`
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Iterator, List, Optional
+from itertools import islice
+from typing import TYPE_CHECKING, List, Optional
 
-from ..chunking.stream import BackupStream, Chunk
+from ..chunking.stream import BackupStream
 from ..errors import ReproError, RestoreError, VersionNotFoundError
+from ..pipeline.base import RestoreMixin
 from ..reports import BackupReport, SystemReport
-from ..restore.base import RestoreAlgorithm, RestoreResult
+from ..restore.base import RestoreAlgorithm
 from ..restore.faa import FAARestore
 from ..storage.container import Container
 from ..storage.container_store import ContainerStore, MemoryContainerStore
@@ -36,8 +39,16 @@ from .deletion import DeletionManager, DeletionStats
 from .double_cache import DoubleHashCache
 from .recipe_chain import RecipeChain
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.maintenance import MaintenanceExecutor
 
-class HiDeStore:
+#: Chunks classified per lock acquisition: small enough that a background
+#: maintenance executor interleaves at fine grain, large enough that the
+#: lock overhead is invisible on the hot path.
+_CLASSIFY_BATCH = 1024
+
+
+class HiDeStore(RestoreMixin):
     """The complete HiDeStore backup system.
 
     Args:
@@ -66,6 +77,14 @@ class HiDeStore:
             (0 disables).  The paper flattens "periodically ... before
             restoring"; a nonzero period keeps old-version restore latency
             bounded without waiting for a restore request.
+        maintenance_executor: a background
+            :class:`~repro.engine.maintenance.MaintenanceExecutor`.  With
+            ``deferred_maintenance=True`` the queued demotion/compaction
+            work is then *actually asynchronous*: it runs on the executor's
+            worker thread while the next version is being chunked and
+            fingerprinted, instead of waiting for :meth:`run_maintenance`.
+            :meth:`run_maintenance` (called automatically before restores,
+            deletions, retirement and checkpoints) is the drain barrier.
     """
 
     def __init__(
@@ -79,6 +98,7 @@ class HiDeStore:
         lookup_unit_bytes: int = 4096,
         deferred_maintenance: bool = False,
         flatten_every: int = 0,
+        maintenance_executor: Optional["MaintenanceExecutor"] = None,
     ) -> None:
         self.io = IOStats()
         self.containers = (
@@ -100,6 +120,8 @@ class HiDeStore:
         self.deferred_maintenance = deferred_maintenance
         self.flatten_every = max(0, flatten_every)
         self._pending_maintenance: List = []  # (previous_version, cold residue)
+        self._maintenance_executor = maintenance_executor
+        self._lock = threading.Lock()  # guards cache/pool/chain/deletion state
         self._next_version = 1
         self._retired = False
         self.report = SystemReport()
@@ -108,65 +130,95 @@ class HiDeStore:
     # Backup path (§4.1 + §4.2 + §4.3)
     # ------------------------------------------------------------------
     def backup(self, stream: BackupStream) -> BackupReport:
-        """Deduplicate and store one backup version."""
+        """Deduplicate and store one backup version.
+
+        The stream is consumed in batches, each classified under the
+        internal lock; between batches a background maintenance executor
+        (see ``maintenance_executor``) may interleave the previous
+        version's demotion/compaction — the paper's §5.4 pipeline.  A lazy
+        (pipelined) stream therefore overlaps chunking + fingerprinting
+        with both classification and filter maintenance.
+
+        ``report.containers_written`` counts the archival containers
+        written synchronously by *this* call (demotion/compaction inline,
+        or a ``flatten_every``-triggered drain) — the per-version delta,
+        matching :class:`~repro.pipeline.system.BackupSystem`.  Work still
+        queued behind ``deferred_maintenance`` is attributed to whichever
+        call later drains it.
+        """
         if self._retired:
             raise ReproError("this HiDeStore instance has been retired")
         started = time.perf_counter()
-        version_id = self._next_version
-        self._next_version += 1
+        with self._lock:
+            version_id = self._next_version
+            self._next_version += 1
+
+            # T1 prefetch accounting: loading the previous recipe's metadata
+            # is the only "lookup" traffic HiDeStore generates (§5.2.2);
+            # bounded by the size of one backup version, however many
+            # versions are stored.
+            prefetch_lookups = 0
+            if version_id > 1 and (version_id - 1) in self.recipes:
+                prefetch_bytes = self.recipes.peek(version_id - 1).byte_size
+                prefetch_lookups = -(-prefetch_bytes // self.lookup_unit_bytes)  # ceil
+                self.io.note_index_lookup(prefetch_lookups)
+
         tag = stream.tag or f"v{version_id}"
         report = BackupReport(version_id, tag)
         recipe = Recipe(version_id, tag)
 
-        # T1 prefetch accounting: loading the previous recipe's metadata is
-        # the only "lookup" traffic HiDeStore generates (§5.2.2); bounded by
-        # the size of one backup version, however many versions are stored.
-        prefetch_lookups = 0
-        if version_id > 1 and (version_id - 1) in self.recipes:
-            prefetch_bytes = self.recipes.peek(version_id - 1).byte_size
-            prefetch_lookups = -(-prefetch_bytes // self.lookup_unit_bytes)  # ceil
-            self.io.note_index_lookup(prefetch_lookups)
-
         # Deduplicate against the fingerprint cache only — no disk lookups.
-        for chunk in stream:
-            entry = self.cache.classify(chunk.fingerprint)
-            if entry is None:
-                cid = self.pool.store_chunk(chunk)
-                self.cache.insert(chunk.fingerprint, chunk.size, cid)
-                recipe_cid = ACTIVE_CID
-                report.unique_chunks += 1
-                report.stored_bytes += chunk.size
-            else:
-                # Duplicates normally sit in active containers (recorded as
-                # ACTIVE); a reopened system's primed chunks are archival and
-                # keep their concrete CID in the recipe.
-                recipe_cid = ACTIVE_CID if entry.cid in self.pool else entry.cid
-                report.duplicate_chunks += 1
-            recipe.append(chunk.fingerprint, chunk.size, recipe_cid)
-            report.total_chunks += 1
-            report.logical_bytes += chunk.size
+        chunks = iter(stream)
+        while True:
+            batch = list(islice(chunks, _CLASSIFY_BATCH))
+            if not batch:
+                break
+            with self._lock:
+                for chunk in batch:
+                    entry = self.cache.classify(chunk.fingerprint)
+                    if entry is None:
+                        cid = self.pool.store_chunk(chunk)
+                        self.cache.insert(chunk.fingerprint, chunk.size, cid)
+                        recipe_cid = ACTIVE_CID
+                        report.unique_chunks += 1
+                        report.stored_bytes += chunk.size
+                    else:
+                        # Duplicates normally sit in active containers
+                        # (recorded as ACTIVE); a reopened system's primed
+                        # chunks are archival and keep their concrete CID in
+                        # the recipe.
+                        recipe_cid = ACTIVE_CID if entry.cid in self.pool else entry.cid
+                        report.duplicate_chunks += 1
+                    recipe.append(chunk.fingerprint, chunk.size, recipe_cid)
+                    report.total_chunks += 1
+                    report.logical_bytes += chunk.size
 
-        self.pool.end_version()
-        self.chain.write_fresh(recipe)
+        with self._lock:
+            containers_before = len(self.containers)
+            self.pool.end_version()
+            self.chain.write_fresh(recipe)
 
-        # Filter: demote the cold residue, then keep the hot set dense.
-        # With deferred maintenance this work leaves the critical path
-        # (paper §5.4's pipelined/offline processing).
-        cold = self.cache.end_version()
-        previous = version_id - self.history_depth
-        if previous >= 1:
-            if self.deferred_maintenance:
-                self._pending_maintenance.append((previous, cold))
-            else:
-                self._apply_maintenance(previous, cold)
-                self._compact_and_relocate()
+            # Filter: demote the cold residue, then keep the hot set dense.
+            # With deferred maintenance this work leaves the critical path
+            # (paper §5.4's pipelined/offline processing).
+            cold = self.cache.end_version()
+            previous = version_id - self.history_depth
+            if previous >= 1:
+                if self.deferred_maintenance:
+                    self._queue_maintenance(previous, cold)
+                else:
+                    self._apply_maintenance(previous, cold)
+                    self._compact_and_relocate()
+            report.containers_written = len(self.containers) - containers_before
 
         if self.flatten_every and version_id % self.flatten_every == 0:
+            before_flatten = len(self.containers)
             self.run_maintenance()
-            self.chain.flatten()
+            with self._lock:
+                self.chain.flatten()
+                report.containers_written += len(self.containers) - before_flatten
 
         report.disk_index_lookups = prefetch_lookups  # recipe prefetch only
-        report.containers_written = len(self.containers)
         report.elapsed_seconds = time.perf_counter() - started
 
         self.report.versions += 1
@@ -190,25 +242,57 @@ class HiDeStore:
         if relocations:
             self.cache.apply_relocations(relocations)
 
+    def _queue_maintenance(self, previous: int, cold) -> None:
+        """Defer one version's filter work (caller holds the lock).
+
+        Without an executor the work waits on the synchronous queue for the
+        next :meth:`run_maintenance`; with one it is handed to the
+        background worker immediately and runs as soon as the lock frees up
+        — i.e. while the next version is being chunked and fingerprinted.
+        """
+        executor = self._maintenance_executor
+        if executor is None:
+            self._pending_maintenance.append((previous, cold))
+            return
+
+        def task() -> None:
+            with self._lock:
+                self._apply_maintenance(previous, cold)
+                self._compact_and_relocate()
+
+        executor.submit(task)
+
+    def attach_maintenance_executor(self, executor: "MaintenanceExecutor") -> None:
+        """Route future deferred maintenance through a background executor."""
+        self._maintenance_executor = executor
+
     def run_maintenance(self) -> int:
         """Process all queued demotions/recipe updates, then compact.
 
-        Returns the number of versions whose maintenance was performed.
+        Returns the number of versions whose maintenance was performed
+        (including background tasks waited for).  This is the drain
+        barrier: when it returns, no filter work is pending or in flight.
         Idempotent; a no-op when nothing is queued.
         """
         processed = 0
-        for previous, cold in self._pending_maintenance:
-            self._apply_maintenance(previous, cold)
-            processed += 1
-        self._pending_maintenance = []
-        if processed:
-            self._compact_and_relocate()
+        if self._maintenance_executor is not None:
+            processed += self._maintenance_executor.drain()
+        with self._lock:
+            pending, self._pending_maintenance = self._pending_maintenance, []
+            for previous, cold in pending:
+                self._apply_maintenance(previous, cold)
+                processed += 1
+            if pending:
+                self._compact_and_relocate()
         return processed
 
     @property
     def pending_maintenance(self) -> int:
-        """Number of versions whose filter work is still queued."""
-        return len(self._pending_maintenance)
+        """Number of versions whose filter work is still queued/in flight."""
+        queued = len(self._pending_maintenance)
+        if self._maintenance_executor is not None:
+            queued += self._maintenance_executor.pending
+        return queued
 
     # ------------------------------------------------------------------
     # Reopening a retired store
@@ -244,14 +328,28 @@ class HiDeStore:
         return primed
 
     # ------------------------------------------------------------------
-    # Restore path (§4.4)
+    # Restore path (§4.4) — the shared RestoreMixin implementation over
+    # three HiDeStore-specific hooks.
     # ------------------------------------------------------------------
+    def _prepare_restore(self, flatten: bool) -> None:
+        """Drain queued filter work, then (optionally) run Algorithm 1.
+
+        The paper performs flattening offline before restoring; pass
+        ``flatten=False`` only when the chain is known flat.
+        """
+        self.run_maintenance()
+        if flatten:
+            with self._lock:
+                self.chain.flatten()
+
     def _read_container(self, cid: int) -> Container:
         if cid in self.pool:
             return self.pool.read(cid)
         return self.containers.read(cid)
 
-    def _resolve_entries(self, recipe: Recipe) -> List[RecipeEntry]:
+    def _resolve_restore_entries(
+        self, entries: List[RecipeEntry], version_id: int
+    ) -> List[RecipeEntry]:
         """Map every entry to a concrete (positive) container ID.
 
         Requires a flattened chain: entries are positive, ``0`` (active) or
@@ -260,14 +358,14 @@ class HiDeStore:
         """
         newest = self.recipes.latest_version()
         resolved: List[RecipeEntry] = []
-        for entry in recipe.entries:
+        for entry in entries:
             cid = entry.cid
             if cid <= 0:
                 location = self.pool.location.get(entry.fingerprint)
                 if location is None:
                     raise RestoreError(
                         f"chunk {entry.fingerprint.hex()[:8]} of version "
-                        f"{recipe.version_id} resolves to the active containers "
+                        f"{version_id} resolves to the active containers "
                         "but is not there (flatten the chain first?)"
                     )
                 if cid < 0 and -cid != newest:
@@ -278,68 +376,9 @@ class HiDeStore:
             resolved.append(RecipeEntry(entry.fingerprint, entry.size, cid))
         return resolved
 
-    def restore_chunks(
-        self,
-        version_id: int,
-        restorer: Optional[RestoreAlgorithm] = None,
-        flatten: bool = True,
-    ) -> Iterator[Chunk]:
-        """Stream a version's chunks in original order.
-
-        Args:
-            version_id: which backup to restore.
-            restorer: restore algorithm override.
-            flatten: run Algorithm 1 first (the paper performs this offline
-                before restoring; disable only when the chain is known flat).
-        """
-        if version_id not in self.recipes:
-            raise VersionNotFoundError(f"no backup version {version_id}")
-        self.run_maintenance()
-        if flatten:
-            self.chain.flatten()
-        recipe = self.recipes.read(version_id)
-        entries = self._resolve_entries(recipe)
-        algorithm = restorer if restorer is not None else self.restorer
-        return algorithm.restore(entries, self._read_container)
-
-    def restore_entry_range(
-        self,
-        version_id: int,
-        start: int,
-        stop: int,
-        restorer: Optional[RestoreAlgorithm] = None,
-        flatten: bool = True,
-    ) -> Iterator[Chunk]:
-        """Restore a contiguous slice of a version's recipe entries.
-
-        Used for partial restores (e.g. one file out of a snapshot): only
-        the containers covering entries ``[start, stop)`` are read.
-        """
-        if version_id not in self.recipes:
-            raise VersionNotFoundError(f"no backup version {version_id}")
-        self.run_maintenance()
-        if flatten:
-            self.chain.flatten()
-        recipe = self.recipes.read(version_id)
-        sliced = Recipe(recipe.version_id, recipe.tag, recipe.entries[start:stop])
-        entries = self._resolve_entries(sliced)
-        algorithm = restorer if restorer is not None else self.restorer
-        return algorithm.restore(entries, self._read_container)
-
-    def restore(
-        self,
-        version_id: int,
-        restorer: Optional[RestoreAlgorithm] = None,
-        flatten: bool = True,
-    ) -> RestoreResult:
-        """Restore a version, returning container-read accounting."""
-        before = self.io.snapshot()
-        result = RestoreResult()
-        for chunk in self.restore_chunks(version_id, restorer, flatten):
-            result.chunks += 1
-            result.logical_bytes += chunk.size
-        result.container_reads = self.io.delta(before).container_reads
-        return result
+    def _resolve_entries(self, recipe: Recipe) -> List[RecipeEntry]:
+        """Back-compat wrapper over :meth:`_resolve_restore_entries`."""
+        return self._resolve_restore_entries(list(recipe.entries), recipe.version_id)
 
     # ------------------------------------------------------------------
     # Deletion (§4.5)

@@ -1,0 +1,25 @@
+"""Pipelined, parallel backup ingest (the paper's §5.4 made concrete).
+
+The serial systems model *what* HiDeStore stores; this package models
+*how fast* it can ingest: chunking + fingerprinting fan out over a worker
+pool (:class:`ParallelChunkPipeline`), filter maintenance runs on a
+background executor (:class:`MaintenanceExecutor`), and container writes
+detach onto a write-behind thread (:class:`WriteBehindContainerStore`).
+:class:`PipelinedIngestEngine` composes all three behind the ordinary
+:class:`~repro.pipeline.base.BackupEngine` surface.
+"""
+
+from .ingest import PipelinedIngestEngine, build_engine
+from .maintenance import MaintenanceExecutor
+from .pipeline import LazyBackupStream, ParallelChunkPipeline
+from .writer import WriteBehindContainerStore, install_write_behind
+
+__all__ = [
+    "LazyBackupStream",
+    "MaintenanceExecutor",
+    "ParallelChunkPipeline",
+    "PipelinedIngestEngine",
+    "WriteBehindContainerStore",
+    "build_engine",
+    "install_write_behind",
+]

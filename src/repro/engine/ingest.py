@@ -1,0 +1,228 @@
+"""The pipelined ingest engine: every §5.4 stage overlap in one object.
+
+:class:`PipelinedIngestEngine` composes the three concurrency pieces of the
+engine package around any :class:`~repro.pipeline.base.BackupEngine`:
+
+* a :class:`~repro.engine.pipeline.ParallelChunkPipeline` fans chunking +
+  fingerprinting over a worker pool (stage 1–2 of the paper's pipeline);
+* the wrapped engine classifies chunks batch-by-batch as they arrive,
+  overlapping dedup with chunking (stage 3);
+* a :class:`~repro.engine.maintenance.MaintenanceExecutor` runs HiDeStore's
+  deferred filter maintenance in the background (the offline stage);
+* an optional :class:`~repro.engine.writer.WriteBehindContainerStore`
+  detaches container persistence from the ingest path (stage 4).
+
+The engine itself satisfies :class:`~repro.pipeline.base.BackupEngine` by
+delegation, so analyses, benchmarks and the CLI treat it exactly like the
+serial systems; :meth:`join` is the drain barrier that restores and
+deletions take automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..chunking.base import BaseChunker
+from ..chunking.fingerprint import Fingerprinter
+from ..chunking.stream import BackupStream, Chunk
+from ..pipeline.base import BackupEngine
+from ..pipeline.schemes import build_scheme
+from ..reports import BackupReport, SystemReport
+from ..restore.base import RestoreAlgorithm, RestoreResult
+from ..storage.recipe import RecipeEntry
+from ..units import CONTAINER_SIZE
+from .maintenance import MaintenanceExecutor
+from .pipeline import ParallelChunkPipeline
+from .writer import WriteBehindContainerStore, install_write_behind
+
+
+class PipelinedIngestEngine:
+    """A :class:`BackupEngine` that ingests through a parallel pipeline.
+
+    Args:
+        system: the wrapped engine (any scheme).
+        pipeline: the chunk/fingerprint pipeline (default: ``workers=1``).
+        write_behind: a write-behind store already installed on ``system``
+            (joined before restores/deletions and on :meth:`close`).
+        maintenance: the background maintenance executor, if the wrapped
+            engine uses one (closed on :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        system: BackupEngine,
+        pipeline: Optional[ParallelChunkPipeline] = None,
+        write_behind: Optional[WriteBehindContainerStore] = None,
+        maintenance: Optional[MaintenanceExecutor] = None,
+    ) -> None:
+        self.system = system
+        self.pipeline = pipeline if pipeline is not None else ParallelChunkPipeline()
+        self.write_behind = write_behind
+        self.maintenance = maintenance
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, items: Iterable[bytes], tag: str = "") -> BackupReport:
+        """Chunk, fingerprint and back up ``items`` as one version.
+
+        The wrapped engine consumes the pipeline's output while later items
+        are still being chunked — with HiDeStore underneath, the previous
+        version's filter maintenance interleaves too.
+        """
+        return self.system.backup(self.pipeline.stream(items, tag=tag))
+
+    def backup(self, stream: BackupStream) -> BackupReport:
+        """Back up an already-chunked stream (protocol compatibility)."""
+        return self.system.backup(stream)
+
+    # ------------------------------------------------------------------
+    # Barrier
+    # ------------------------------------------------------------------
+    def join(self) -> None:
+        """Drain every background stage: maintenance, then pending writes.
+
+        After ``join`` returns the wrapped system's state is byte-for-byte
+        the state a serial ingest would have produced.
+        """
+        run_maintenance = getattr(self.system, "run_maintenance", None)
+        if run_maintenance is not None:
+            run_maintenance()
+        elif self.maintenance is not None:
+            self.maintenance.drain()
+        if self.write_behind is not None:
+            self.write_behind.flush()
+
+    def close(self) -> None:
+        """Join, then shut down pools and worker threads (idempotent)."""
+        self.join()
+        self.pipeline.close()
+        if self.maintenance is not None:
+            self.maintenance.close()
+        if self.write_behind is not None:
+            self.write_behind.close()
+
+    def __enter__(self) -> "PipelinedIngestEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Read side: barrier first, then delegate
+    # ------------------------------------------------------------------
+    def restore(
+        self,
+        version_id: int,
+        restorer: Optional[RestoreAlgorithm] = None,
+        flatten: bool = True,
+    ) -> RestoreResult:
+        self.join()
+        return self.system.restore(version_id, restorer, flatten)
+
+    def restore_chunks(
+        self,
+        version_id: int,
+        restorer: Optional[RestoreAlgorithm] = None,
+        flatten: bool = True,
+    ) -> Iterator[Chunk]:
+        self.join()
+        return self.system.restore_chunks(version_id, restorer, flatten)
+
+    def restore_entry_range(
+        self,
+        version_id: int,
+        start: int,
+        stop: int,
+        restorer: Optional[RestoreAlgorithm] = None,
+        flatten: bool = True,
+    ) -> Iterator[Chunk]:
+        self.join()
+        return self.system.restore_entry_range(version_id, start, stop, restorer, flatten)
+
+    def delete_oldest(self):
+        self.join()
+        return self.system.delete_oldest()
+
+    def resolved_entries(self, version_id: int) -> List[RecipeEntry]:
+        self.join()
+        return self.system.resolved_entries(version_id)
+
+    # ------------------------------------------------------------------
+    # Introspection delegates
+    # ------------------------------------------------------------------
+    @property
+    def report(self) -> SystemReport:
+        return self.system.report
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self.system.dedup_ratio
+
+    def version_ids(self) -> List[int]:
+        return self.system.version_ids()
+
+    def stored_bytes(self) -> int:
+        self.join()
+        return self.system.stored_bytes()
+
+    @property
+    def containers(self):
+        return self.system.containers
+
+    @property
+    def recipes(self):
+        return self.system.recipes
+
+    @property
+    def io(self):
+        return self.system.io
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PipelinedIngestEngine({self.system!r}, {self.pipeline!r})"
+
+
+def build_engine(
+    scheme: str = "hidestore",
+    *,
+    workers: int = 1,
+    executor: str = "process",
+    chunker: Optional[BaseChunker] = None,
+    fingerprinter: Optional[Fingerprinter] = None,
+    queue_depth: Optional[int] = None,
+    write_behind: bool = False,
+    background_maintenance: bool = False,
+    container_size: int = CONTAINER_SIZE,
+    **scheme_kwargs,
+) -> PipelinedIngestEngine:
+    """Build a scheme wrapped in the full ingest pipeline.
+
+    Args:
+        scheme: any :data:`~repro.pipeline.schemes.SCHEMES` name.
+        workers / executor / queue_depth: pipeline fan-out configuration.
+        chunker / fingerprinter: stage-1/2 components (paper defaults).
+        write_behind: detach container writes onto a background thread.
+        background_maintenance: HiDeStore only — run deferred filter
+            maintenance on a background executor instead of at the next
+            barrier (implies ``deferred_maintenance=True``).
+        container_size / scheme_kwargs: forwarded to the scheme factory.
+    """
+    maintenance: Optional[MaintenanceExecutor] = None
+    if background_maintenance and scheme == "hidestore":
+        maintenance = MaintenanceExecutor()
+        scheme_kwargs.setdefault("deferred_maintenance", True)
+        scheme_kwargs.setdefault("maintenance_executor", maintenance)
+    system = build_scheme(scheme, container_size=container_size, **scheme_kwargs)
+    wb: Optional[WriteBehindContainerStore] = None
+    if write_behind:
+        wb = install_write_behind(system)
+    pipeline = ParallelChunkPipeline(
+        chunker=chunker,
+        fingerprinter=fingerprinter,
+        workers=workers,
+        executor=executor,
+        queue_depth=queue_depth,
+    )
+    return PipelinedIngestEngine(
+        system, pipeline=pipeline, write_behind=wb, maintenance=maintenance
+    )

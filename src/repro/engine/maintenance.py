@@ -1,0 +1,105 @@
+"""Background maintenance executor (§5.4, the offline stage made real).
+
+HiDeStore's cold-demotion and container compaction are deliberately
+decoupled from the ingest hot path — the paper runs them "offline".  The
+repository has long modelled that with ``deferred_maintenance=True``, which
+merely *queues* the work; :class:`MaintenanceExecutor` makes the deferral
+genuinely asynchronous by running queued tasks on a daemon worker thread
+while the next backup (or the caller) proceeds.
+
+The contract mirrors the paper's correctness requirement: restores and
+deletions must observe a fully-maintained store, so every consumer calls
+:meth:`drain` (directly or via ``HiDeStore.run_maintenance``) before
+reading.  ``drain`` is a barrier — it blocks until the queue is empty and
+re-raises the first error a task produced, so failures surface at a
+well-defined point instead of vanishing on a background thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List, Optional
+
+
+class MaintenanceExecutor:
+    """A single background worker draining a FIFO of maintenance tasks.
+
+    One worker (not a pool) is intentional: maintenance tasks mutate shared
+    engine state under the engine's lock, so extra workers would only
+    contend.  The value of the executor is overlap with ingest, not
+    intra-maintenance parallelism.
+    """
+
+    def __init__(self, name: str = "maintenance") -> None:
+        self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
+        self._state_lock = threading.Lock()
+        self._errors: List[BaseException] = []
+        self._completed = 0
+        self._pending = 0
+        self._closed = False
+        self._worker = threading.Thread(target=self._run, name=name, daemon=True)
+        self._worker.start()
+
+    def _run(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                self._queue.task_done()
+                return
+            try:
+                task()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in drain()
+                with self._state_lock:
+                    self._errors.append(exc)
+            else:
+                with self._state_lock:
+                    self._completed += 1
+            finally:
+                with self._state_lock:
+                    self._pending -= 1
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def submit(self, task: Callable[[], None]) -> None:
+        """Queue one maintenance task for background execution."""
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("maintenance executor is closed")
+            self._pending += 1
+        self._queue.put(task)
+
+    @property
+    def pending(self) -> int:
+        """Tasks submitted but not yet finished (queued or running)."""
+        with self._state_lock:
+            return self._pending
+
+    def drain(self) -> int:
+        """Barrier: wait for every queued task, then report.
+
+        Returns the number of tasks completed since the previous drain and
+        re-raises the first exception any of them produced.
+        """
+        self._queue.join()
+        with self._state_lock:
+            errors, self._errors = self._errors, []
+            completed, self._completed = self._completed, 0
+        if errors:
+            raise errors[0]
+        return completed
+
+    def close(self) -> None:
+        """Finish queued work and stop the worker thread (idempotent)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._worker.join()
+
+    def __enter__(self) -> "MaintenanceExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

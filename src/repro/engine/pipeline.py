@@ -1,0 +1,201 @@
+"""Parallel chunking + fingerprinting with order-preserving fan-out.
+
+The CPU-bound front half of a backup — content-defined chunking and SHA-1
+fingerprinting — is embarrassingly parallel across independent items (files
+or fixed blocks), but recipes demand the original stream order and memory
+demands a bound on in-flight work.  :class:`ParallelChunkPipeline` provides
+both: items fan out to a process or thread pool, results are yielded
+strictly in submission order, and at most ``queue_depth`` items are in
+flight at once.
+
+Determinism: each worker runs the same :func:`~repro.chunking.vectorized.
+split_fast` + fingerprint code on one whole item, so the produced chunk
+sequence is identical for any worker count — ``workers=4`` yields exactly
+the chunks of ``workers=1``, in the same order.  (Chunk boundaries reset at
+item boundaries; that is part of the contract, not an artefact of the pool.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Iterator, List, Optional
+
+from ..chunking.base import BaseChunker
+from ..chunking.fastcdc import FastCDCChunker
+from ..chunking.fingerprint import Fingerprinter
+from ..chunking.stream import BackupStream, Chunk
+from ..chunking.vectorized import split_fast
+
+# Per-process worker state, installed once by the pool initializer so each
+# item submission ships only its payload, not the chunker configuration.
+_WORKER_CHUNKER: Optional[BaseChunker] = None
+_WORKER_FINGERPRINTER: Optional[Fingerprinter] = None
+
+
+def _init_chunk_worker(chunker: BaseChunker, fingerprinter: Fingerprinter) -> None:
+    global _WORKER_CHUNKER, _WORKER_FINGERPRINTER
+    _WORKER_CHUNKER = chunker
+    _WORKER_FINGERPRINTER = fingerprinter
+
+
+def _chunk_item_worker(payload: bytes) -> List[Chunk]:
+    return [
+        _WORKER_FINGERPRINTER.chunk(piece)
+        for piece in split_fast(_WORKER_CHUNKER, payload)
+    ]
+
+
+class LazyBackupStream(BackupStream):
+    """A single-pass :class:`BackupStream` over a live chunk iterator.
+
+    Lets a backup consume pipeline output as it is produced instead of
+    materializing every chunk first.  Iterating twice (or asking for
+    ``len``/``chunks`` after iteration started) is a programming error and
+    raises, rather than silently yielding nothing.
+    """
+
+    def __init__(self, chunks: Iterator[Chunk], tag: str = "") -> None:
+        self._iterator = chunks
+        self._consumed = False
+        self.tag = tag
+
+    def __iter__(self) -> Iterator[Chunk]:
+        if self._consumed:
+            raise RuntimeError("LazyBackupStream can only be iterated once")
+        self._consumed = True
+        return self._iterator
+
+    def _materialized(self):
+        raise RuntimeError(
+            "LazyBackupStream is single-pass; use ParallelChunkPipeline"
+            ".materialize() when random access or re-iteration is needed"
+        )
+
+    def __len__(self) -> int:
+        # TypeError, not RuntimeError: list(stream) probes len() for a size
+        # hint and only a TypeError tells it "no length" instead of failing.
+        raise TypeError(
+            "LazyBackupStream is single-pass and has no length; use "
+            "ParallelChunkPipeline.materialize() for a sized stream"
+        )
+
+    def __getitem__(self, idx: int) -> Chunk:
+        self._materialized()
+
+    @property
+    def chunks(self):
+        self._materialized()
+
+
+class ParallelChunkPipeline:
+    """Fan chunking + fingerprinting over a worker pool, order preserved.
+
+    Args:
+        chunker: content-defined chunker (default: FastCDC, paper config).
+        fingerprinter: digest engine (default: SHA-1/20B, as the paper).
+        workers: parallel workers; ``1`` runs inline with no pool at all.
+        executor: ``"process"`` (default; true parallelism, payloads are
+            pickled) or ``"thread"`` (cheaper hand-off; parallel only where
+            workers release the GIL).
+        queue_depth: max in-flight items (default ``2 * workers``), the
+            bounded buffer that keeps memory flat on huge backups.
+    """
+
+    def __init__(
+        self,
+        chunker: Optional[BaseChunker] = None,
+        fingerprinter: Optional[Fingerprinter] = None,
+        workers: int = 1,
+        executor: str = "process",
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in ("process", "thread"):
+            raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.chunker = chunker if chunker is not None else FastCDCChunker()
+        self.fingerprinter = fingerprinter if fingerprinter is not None else Fingerprinter()
+        self.workers = workers
+        self.executor_kind = executor
+        self.queue_depth = queue_depth if queue_depth is not None else 2 * workers
+        self._pool: Optional[Executor] = None
+
+    # ------------------------------------------------------------------
+    def _chunk_item(self, payload: bytes) -> List[Chunk]:
+        return [
+            self.fingerprinter.chunk(piece)
+            for piece in split_fast(self.chunker, payload)
+        ]
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.executor_kind == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_chunk_worker,
+                    initargs=(self.chunker, self.fingerprinter),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="chunk"
+                )
+        return self._pool
+
+    def iter_chunks(self, items: Iterable[bytes]) -> Iterator[Chunk]:
+        """Chunk + fingerprint ``items``, yielding in original order.
+
+        The bounded look-ahead keeps ``queue_depth`` items in flight: while
+        the caller consumes item *i*'s chunks, items *i+1 … i+depth* are
+        being chunked by the pool.
+        """
+        if self.workers == 1:
+            for payload in items:
+                yield from self._chunk_item(payload)
+            return
+        pool = self._ensure_pool()
+        if self.executor_kind == "process":
+            submit = lambda payload: pool.submit(_chunk_item_worker, payload)  # noqa: E731
+        else:
+            submit = lambda payload: pool.submit(self._chunk_item, payload)  # noqa: E731
+        pending: "deque" = deque()
+        try:
+            for payload in items:
+                pending.append(submit(payload))
+                if len(pending) >= self.queue_depth:
+                    yield from pending.popleft().result()
+            while pending:
+                yield from pending.popleft().result()
+        finally:
+            while pending:
+                pending.popleft().cancel()
+
+    # ------------------------------------------------------------------
+    def stream(self, items: Iterable[bytes], tag: str = "") -> LazyBackupStream:
+        """A single-pass backup stream that chunks while being consumed."""
+        return LazyBackupStream(self.iter_chunks(items), tag=tag)
+
+    def materialize(self, items: Iterable[bytes], tag: str = "") -> BackupStream:
+        """A fully-buffered backup stream (re-iterable, len()-able)."""
+        return BackupStream(list(self.iter_chunks(items)), tag=tag)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool restarts on reuse)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelChunkPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ParallelChunkPipeline(workers={self.workers}, "
+            f"executor={self.executor_kind!r}, depth={self.queue_depth})"
+        )

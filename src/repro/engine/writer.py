@@ -1,0 +1,170 @@
+"""Write-behind container store: overlap container I/O with ingest.
+
+In the paper's pipeline (§5.4) writing sealed containers to disk proceeds
+concurrently with chunking, fingerprinting and filtering of the next data.
+:class:`WriteBehindContainerStore` reproduces that stage decoupling for any
+:class:`~repro.storage.container_store.ContainerStore` backend: ``write``
+enqueues the sealed container and returns immediately; a daemon worker
+performs the real (possibly file-backed, compressed) write in the
+background.
+
+Correctness barrier: every *read-side* operation (``read`` / ``peek`` /
+``delete`` / ``__contains__`` / ``container_ids`` / ``stored_bytes``)
+flushes the queue first, so readers always observe a fully-written store
+and background write errors surface at the next store access instead of
+disappearing on the worker thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import List, Optional
+
+from ..storage.container import Container
+from ..storage.container_store import ContainerStore
+from ..storage.io_model import IOStats
+
+
+class WriteBehindContainerStore(ContainerStore):
+    """Asynchronous ``write`` façade over an inner container store.
+
+    Everything except ``write`` forwards to ``inner`` (after a flush where
+    ordering matters), so the wrapper is observationally identical to the
+    wrapped store — the only difference is *when* the write cost is paid.
+    """
+
+    def __init__(self, inner: ContainerStore) -> None:
+        # No super().__init__: capacity/stats/_next_id all live in `inner`
+        # (a second copy would drift); this class only adds the queue.
+        self.inner = inner
+        self._queue: "queue.Queue[Optional[Container]]" = queue.Queue()
+        self._state_lock = threading.Lock()
+        self._errors: List[BaseException] = []
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="container-writer", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            container = self._queue.get()
+            if container is None:
+                self._queue.task_done()
+                return
+            try:
+                self.inner.write(container)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in flush()
+                with self._state_lock:
+                    self._errors.append(exc)
+            finally:
+                self._queue.task_done()
+
+    def flush(self) -> None:
+        """Barrier: wait for queued writes; re-raise the first failure."""
+        self._queue.join()
+        with self._state_lock:
+            errors, self._errors = self._errors, []
+        if errors:
+            raise errors[0]
+
+    def close(self) -> None:
+        """Flush and stop the worker thread (idempotent)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._worker.join()
+        self.flush()
+
+    @property
+    def pending_writes(self) -> int:
+        return self._queue.unfinished_tasks
+
+    # ------------------------------------------------------------------
+    # Write path — the one asynchronous operation
+    # ------------------------------------------------------------------
+    def write(self, container: Container) -> None:
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("write-behind store is closed")
+        container.seal()  # seal synchronously: the caller's view is final
+        self._queue.put(container)
+
+    # ------------------------------------------------------------------
+    # Read side — flush-first so readers see a consistent store
+    # ------------------------------------------------------------------
+    def read(self, container_id: int) -> Container:
+        self.flush()
+        return self.inner.read(container_id)
+
+    def peek(self, container_id: int) -> Container:
+        self.flush()
+        return self.inner.peek(container_id)
+
+    def delete(self, container_id: int) -> None:
+        self.flush()
+        self.inner.delete(container_id)
+
+    def __contains__(self, container_id: int) -> bool:
+        self.flush()
+        return container_id in self.inner
+
+    def container_ids(self) -> List[int]:
+        self.flush()
+        return self.inner.container_ids()
+
+    def stored_bytes(self) -> int:
+        self.flush()
+        return self.inner.stored_bytes()
+
+    # ------------------------------------------------------------------
+    # Allocation + configuration forward straight to the inner store
+    # ------------------------------------------------------------------
+    def allocate(self) -> Container:
+        return self.inner.allocate()
+
+    @property
+    def next_id(self) -> int:
+        return self.inner.next_id
+
+    def reserve_ids(self, upto: int) -> None:
+        self.inner.reserve_ids(upto)
+
+    @property
+    def capacity(self) -> int:
+        return self.inner.capacity
+
+    @property
+    def stats(self) -> IOStats:
+        return self.inner.stats
+
+    @stats.setter
+    def stats(self, value: IOStats) -> None:
+        self.inner.stats = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteBehindContainerStore({self.inner!r}, pending={self.pending_writes})"
+
+
+def install_write_behind(system) -> WriteBehindContainerStore:
+    """Rewire an already-built engine onto a write-behind container store.
+
+    Wraps ``system.containers`` and repoints every component holding a
+    direct reference (HiDeStore's active pool and deletion manager).
+    Returns the wrapper so the caller can ``flush()``/``close()`` it.
+    """
+    wrapper = WriteBehindContainerStore(system.containers)
+    system.containers = wrapper
+    pool = getattr(system, "pool", None)
+    if pool is not None:
+        pool.store = wrapper
+    deletion = getattr(system, "deletion", None)
+    if deletion is not None:
+        deletion.containers = wrapper
+    return wrapper

@@ -6,15 +6,18 @@ names the exact configurations the paper evaluates.
 """
 
 from ..reports import BackupReport, SystemReport
+from .base import BackupEngine, RestoreMixin
 from .gc import GCDeletionManager, GCStats
 from .schemes import SCHEMES, build_scheme
 from .system import BackupSystem
 
 __all__ = [
+    "BackupEngine",
     "BackupReport",
     "BackupSystem",
     "GCDeletionManager",
     "GCStats",
+    "RestoreMixin",
     "SCHEMES",
     "SystemReport",
     "build_scheme",

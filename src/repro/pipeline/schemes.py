@@ -17,9 +17,8 @@ Every factory returns a fresh system.  Keyword conventions:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Callable, Dict
 
-from ..core.hidestore import HiDeStore
 from ..index.ddfs import DDFSIndex
 from ..index.blc import BLCIndex
 from ..index.chunkstash import ChunkStashIndex
@@ -36,9 +35,11 @@ from ..rewriting.cfl import CFLRewriter
 from ..rewriting.fbw import FBWRewriter
 from ..rewriting.greedy_capping import GreedyCappingRewriter
 from ..rewriting.none import NoRewriter
+from .base import BackupEngine
 from .system import BackupSystem
 
-AnySystem = Union[BackupSystem, HiDeStore]
+#: Back-compat alias — every scheme now satisfies the same protocol.
+AnySystem = BackupEngine
 
 
 def _build(index_cls, rewriter_cls, default_restorer_cls, **kwargs) -> BackupSystem:
@@ -119,8 +120,12 @@ def build_alacc(**kwargs) -> BackupSystem:
     return _build(DDFSIndex, FBWRewriter, ALACCRestore, **kwargs)
 
 
-def build_hidestore(**kwargs) -> HiDeStore:
+def build_hidestore(**kwargs) -> BackupEngine:
     """HiDeStore (this paper)."""
+    # Imported here: repro.core.hidestore itself imports repro.pipeline.base,
+    # so a module-level import would be circular.
+    from ..core.hidestore import HiDeStore
+
     kwargs.pop("index_kwargs", None)
     kwargs.pop("rewriter_kwargs", None)
     restorer_kwargs = kwargs.pop("restorer_kwargs", {})
@@ -129,7 +134,7 @@ def build_hidestore(**kwargs) -> HiDeStore:
     return HiDeStore(**kwargs)
 
 
-SCHEMES: Dict[str, Callable[..., AnySystem]] = {
+SCHEMES: Dict[str, Callable[..., BackupEngine]] = {
     "baseline": build_baseline,
     "ddfs": build_ddfs,
     "exact": build_exact,
@@ -148,7 +153,7 @@ SCHEMES: Dict[str, Callable[..., AnySystem]] = {
 }
 
 
-def build_scheme(name: str, **kwargs) -> AnySystem:
+def build_scheme(name: str, **kwargs) -> BackupEngine:
     """Construct a named scheme (see :data:`SCHEMES` for the catalogue)."""
     try:
         factory = SCHEMES[name.lower()]

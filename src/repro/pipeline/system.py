@@ -16,9 +16,9 @@ import time
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..chunking.stream import BackupStream, Chunk
-from ..errors import StorageError, VersionNotFoundError
+from ..errors import StorageError
 from ..index.base import FingerprintIndex
-from ..restore.base import RestoreAlgorithm, RestoreResult
+from ..restore.base import RestoreAlgorithm
 from ..restore.faa import FAARestore
 from ..rewriting.base import Rewriter
 from ..rewriting.none import NoRewriter
@@ -28,6 +28,7 @@ from ..storage.io_model import IOStats
 from ..storage.recipe import MemoryRecipeStore, Recipe, RecipeStore
 from ..units import CONTAINER_SIZE
 from ..reports import BackupReport, SystemReport
+from .base import RestoreMixin
 
 
 def _batches(items: Sequence, size: int) -> Iterator[Sequence]:
@@ -37,7 +38,7 @@ def _batches(items: Sequence, size: int) -> Iterator[Sequence]:
         yield items[start : start + size]
 
 
-class BackupSystem:
+class BackupSystem(RestoreMixin):
     """A complete deduplicating backup store with pluggable policies.
 
     Args:
@@ -170,49 +171,9 @@ class BackupSystem:
         self._open = None
 
     # ------------------------------------------------------------------
-    # Restore path
-    # ------------------------------------------------------------------
-    def restore_chunks(
-        self, version_id: int, restorer: Optional[RestoreAlgorithm] = None
-    ) -> Iterator[Chunk]:
-        """Stream the chunks of a stored version in original order."""
-        if version_id not in self.recipes:
-            raise VersionNotFoundError(f"no backup version {version_id}")
-        recipe = self.recipes.read(version_id)
-        algorithm = restorer if restorer is not None else self.restorer
-        return algorithm.restore(recipe.entries, self.containers.read)
-
-    def restore_entry_range(
-        self,
-        version_id: int,
-        start: int,
-        stop: int,
-        restorer: Optional[RestoreAlgorithm] = None,
-    ) -> Iterator[Chunk]:
-        """Restore a contiguous slice of a version's recipe entries.
-
-        Used for partial restores (e.g. one file out of a snapshot): only
-        the containers covering entries ``[start, stop)`` are read.
-        """
-        if version_id not in self.recipes:
-            raise VersionNotFoundError(f"no backup version {version_id}")
-        recipe = self.recipes.read(version_id)
-        entries = recipe.entries[start:stop]
-        algorithm = restorer if restorer is not None else self.restorer
-        return algorithm.restore(entries, self.containers.read)
-
-    def restore(
-        self, version_id: int, restorer: Optional[RestoreAlgorithm] = None
-    ) -> RestoreResult:
-        """Restore a version, returning read accounting (Fig. 11 metric)."""
-        before = self.io.snapshot()
-        result = RestoreResult()
-        for chunk in self.restore_chunks(version_id, restorer):
-            result.chunks += 1
-            result.logical_bytes += chunk.size
-        result.container_reads = self.io.delta(before).container_reads
-        return result
-
+    # Restore path: inherited from RestoreMixin (the default hooks — read
+    # entries verbatim, fetch from the archival store — are exactly the
+    # traditional pipeline's behaviour).
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -58,6 +58,29 @@ class TestBackup:
         assert report.unique_chunks == 3
         assert report.duplicate_chunks == 2
 
+    def test_containers_written_is_per_version_delta(self, small_workload):
+        """Regression: this used to report the *cumulative* container count.
+
+        ``containers_written`` must count only the archival containers this
+        backup call produced (matching BackupSystem's delta semantics), so
+        summing the per-version reports reproduces the store's total.
+        """
+        system = run(small_workload)
+        per_version = [r.containers_written for r in system.report.per_version]
+        assert sum(per_version) == len(system.containers)
+        # Cumulative reporting would make the sequence non-decreasing and
+        # its sum far larger than the store; deltas stay individually small.
+        assert all(w <= len(system.containers) for w in per_version)
+
+    def test_containers_written_deferred_attributed_to_drain(self, small_workload):
+        """With deferred maintenance the delta is 0 until someone drains."""
+        system = HiDeStore(container_size=64 * KiB, deferred_maintenance=True)
+        reports = [system.backup(s) for s in small_workload.versions()]
+        assert all(r.containers_written == 0 for r in reports)
+        assert len(system.containers) == 0
+        system.run_maintenance()
+        assert len(system.containers) > 0
+
 
 class TestRestore:
     def test_every_version_restores_exact_sequence(self, small_workload):
