@@ -11,8 +11,17 @@ Commands:
   sizes, optional per-version fragmentation table.
 * ``hidestore delete-oldest <repo>`` — expire the oldest version (GC-free).
 * ``hidestore verify <repo>`` — integrity-check every chunk reference.
+* ``hidestore serve HOST:PORT --root DIR`` — run the multi-tenant backup
+  daemon (see :mod:`repro.server`).
 * research tooling: ``trace-generate`` / ``trace-stats`` / ``observe`` /
   ``simulate`` (scheme×preset matrices to CSV).
+
+``backup`` / ``restore`` / ``versions`` / ``stats`` / ``delete-oldest``
+accept ``--remote HOST:PORT``: the ``<repo>`` argument then names a tenant
+on a running daemon instead of a local directory, and the same command
+implementations drive a :class:`~repro.client.RemoteRepository` over the
+wire — local and remote share one code path through the repository surface
+(:mod:`repro.repository`).
 
 The repository layout on disk::
 
@@ -28,214 +37,101 @@ back into files.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
-from .chunking import FastCDCChunker
-from .core.checkpoint import load_checkpoint, save_checkpoint
-from .core.hidestore import HiDeStore
-from .core.verify import verify_system
 from .errors import ReproError
-from .storage.container_store import FileContainerStore
-from .storage.recipe import FileRecipeStore
+from .repository import (
+    LocalRepository,
+    materialize,
+    open_repository,
+    read_tree,
+)
 from .units import format_bytes
 
-
-def _repo_paths(repo: str) -> Tuple[str, str, str]:
-    return (
-        os.path.join(repo, "containers"),
-        os.path.join(repo, "recipes"),
-        os.path.join(repo, "manifests"),
-    )
+__all__ = ["build_parser", "main", "open_repository"]
 
 
-def _checkpoint_path(repo: str) -> str:
-    return os.path.join(repo, "checkpoint.json")
+def _open_target(args: argparse.Namespace, **local_kwargs):
+    """The repository front end a command talks to: local dir or daemon."""
+    if getattr(args, "remote", None):
+        from .client import RemoteRepository
 
-
-def open_repository(repo: str, history_depth: int = 1, compress: bool = False) -> HiDeStore:
-    """Open (or initialise) a HiDeStore repository directory.
-
-    The sealed world lives in ``containers/`` and ``recipes/``; the volatile
-    state (T1 tables, active containers, deletion tags) is reloaded from
-    ``checkpoint.json`` — written after every CLI backup — so physical
-    locality and the version counter survive across invocations.
-    """
-    containers_dir, recipes_dir, manifests_dir = _repo_paths(repo)
-    os.makedirs(manifests_dir, exist_ok=True)
-    checkpoint = _checkpoint_path(repo)
-    if os.path.exists(checkpoint):
-        return load_checkpoint(
-            checkpoint,
-            FileContainerStore(containers_dir, compress=compress),
-            FileRecipeStore(recipes_dir),
-        )
-    store = HiDeStore(
-        container_store=FileContainerStore(containers_dir, compress=compress),
-        recipe_store=FileRecipeStore(recipes_dir),
-        history_depth=history_depth,
-    )
-    existing = store.recipes.version_ids()
-    if existing:
-        # Legacy repository without a checkpoint: the previous session must
-        # have retired the store; resume via recipe priming (§4.1).
-        store._next_version = existing[-1] + 1
-        store._retired = True
-    return store
-
-
-def _read_tree(source: str) -> List[Tuple[str, str]]:
-    """All files under ``source`` as (relative name, absolute path), sorted."""
-    entries = []
-    for root, _dirs, files in os.walk(source):
-        for name in files:
-            path = os.path.join(root, name)
-            entries.append((os.path.relpath(path, source), path))
-    entries.sort()
-    return entries
-
-
-def _stream_blocks(entries: List[Tuple[str, str]], block_size: int = 1 << 20):
-    for _rel, path in entries:
-        with open(path, "rb") as handle:
-            while True:
-                block = handle.read(block_size)
-                if not block:
-                    break
-                yield block
-
-
-def _read_items(entries: List[Tuple[str, str]]):
-    """Whole-file payloads for the parallel pipeline, in manifest order."""
-    for _rel, path in entries:
-        with open(path, "rb") as handle:
-            yield handle.read()
+        return RemoteRepository(args.remote, args.repo)
+    return LocalRepository(args.repo, **local_kwargs)
 
 
 def cmd_backup(args: argparse.Namespace) -> int:
     """Chunk, deduplicate and store a directory snapshot."""
-    store = open_repository(args.repo, args.history_depth, compress=args.compress)
-    # A retired store cannot take further backups until its cache is rebuilt
-    # from the last recipe (§4.1's T1 prefetch, cross-session flavour).
-    if store._retired and store.recipes.latest_version() is not None:
-        store.prime_from_recipe()
-    else:
-        store._retired = False
-
-    entries = _read_tree(args.source)
+    entries = read_tree(args.source)
     if not entries:
         print(f"error: no files under {args.source}", file=sys.stderr)
         return 1
-
-    write_behind = None
-    executor = None
-    if args.pipeline:
-        from .engine import MaintenanceExecutor, install_write_behind
-
-        write_behind = install_write_behind(store)
-        executor = MaintenanceExecutor()
-        store.deferred_maintenance = True
-        store.attach_maintenance_executor(executor)
-
-    chunker = FastCDCChunker()
-    try:
-        if args.workers > 1 or args.pipeline:
-            from .engine import ParallelChunkPipeline
-
-            with ParallelChunkPipeline(chunker=chunker, workers=args.workers) as pipe:
-                report = store.backup(pipe.stream(_read_items(entries), tag=args.tag or ""))
-        else:
-            stream = chunker.chunk_stream(_stream_blocks(entries), tag=args.tag or "")
-            report = store.backup(stream)
-
-        manifest_path = os.path.join(
-            _repo_paths(args.repo)[2], f"manifest-{report.version_id:08d}.txt"
-        )
-        with open(manifest_path, "w", encoding="utf-8") as handle:
-            for rel, path in entries:
-                handle.write(f"{os.path.getsize(path)}\t{rel}\n")
-
-        # Persist the volatile state so the next invocation resumes
-        # seamlessly.  save_checkpoint drains queued maintenance first, so
-        # the background executor is idle by the time it is closed below.
-        save_checkpoint(store, _checkpoint_path(args.repo))
-    finally:
-        if executor is not None:
-            executor.close()
-        if write_behind is not None:
-            write_behind.close()
+    repo = _open_target(
+        args,
+        history_depth=args.history_depth,
+        compress=args.compress,
+        workers=args.workers,
+        pipeline=args.pipeline,
+    )
+    report = repo.backup_tree(entries, tag=args.tag or "")
     print(
-        f"backed up version {report.version_id}: "
-        f"{report.total_chunks} chunks, {format_bytes(report.logical_bytes)} logical, "
-        f"{format_bytes(report.stored_bytes)} stored "
-        f"({report.duplicate_chunks} duplicates)"
+        f"backed up version {report['version_id']}: "
+        f"{report['total_chunks']} chunks, "
+        f"{format_bytes(report['logical_bytes'])} logical, "
+        f"{format_bytes(report['stored_bytes'])} stored "
+        f"({report['duplicate_chunks']} duplicates)"
     )
     return 0
 
 
 def cmd_restore(args: argparse.Namespace) -> int:
     """Materialise a stored version back into a directory."""
-    store = open_repository(args.repo)
-    manifest_path = os.path.join(
-        _repo_paths(args.repo)[2], f"manifest-{args.version:08d}.txt"
-    )
-    if not os.path.exists(manifest_path):
-        print(f"error: no manifest for version {args.version}", file=sys.stderr)
-        return 1
-    plan: List[Tuple[str, int]] = []
-    with open(manifest_path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            size_str, rel = line.rstrip("\n").split("\t", 1)
-            plan.append((rel, int(size_str)))
-
-    os.makedirs(args.target, exist_ok=True)
-    chunk_iter = store.restore_chunks(args.version)
-    buffer = bytearray()
-    restored = 0
-    for rel, size in plan:
-        while len(buffer) < size:
-            chunk = next(chunk_iter)
-            if chunk.data is None:
-                raise ReproError("repository chunk carries no payload")
-            buffer.extend(chunk.data)
-        out_path = os.path.join(args.target, rel)
-        os.makedirs(os.path.dirname(out_path) or args.target, exist_ok=True)
-        with open(out_path, "wb") as handle:
-            handle.write(bytes(buffer[:size]))
-        del buffer[:size]
-        restored += 1
+    repo = _open_target(args)
+    plan, data = repo.restore(args.version)
+    restored = materialize(plan, data, args.target)
     print(f"restored version {args.version}: {restored} files into {args.target}")
     return 0
 
 
 def cmd_versions(args: argparse.Namespace) -> int:
     """List stored versions with tags and sizes."""
-    store = open_repository(args.repo)
-    for version_id in store.recipes.version_ids():
-        recipe = store.recipes.peek(version_id)
+    repo = _open_target(args)
+    for row in repo.versions():
         print(
-            f"version {version_id}: tag={recipe.tag!r} chunks={len(recipe)} "
-            f"logical={format_bytes(recipe.logical_size)}"
+            f"version {row['version_id']}: tag={row['tag']!r} "
+            f"chunks={row['chunks']} "
+            f"logical={format_bytes(row['logical_bytes'])}"
         )
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print repository statistics (optionally per-version detail)."""
-    store = open_repository(args.repo)
-    logical = sum(store.recipes.peek(v).logical_size for v in store.recipes.version_ids())
-    stored = store.containers.stored_bytes() + store.pool.hot_bytes()
-    ratio = 0.0 if logical == 0 else (logical - stored) / logical
-    print(f"versions:         {len(store.recipes.version_ids())}")
-    print(f"logical bytes:    {format_bytes(logical)}")
-    print(f"stored bytes:     {format_bytes(stored)}")
-    print(f"dedup ratio:      {ratio:.2%}")
-    print(f"containers:       {len(store.containers)} archival, "
-          f"{store.pool.container_count()} active")
+    repo = _open_target(args)
+    stats = repo.stats()
+    print(f"versions:         {stats['versions']}")
+    print(f"logical bytes:    {format_bytes(stats['logical_bytes'])}")
+    print(f"stored bytes:     {format_bytes(stats['stored_bytes'])}")
+    print(f"dedup ratio:      {stats['dedup_ratio']:.2%}")
+    print(f"containers:       {stats['containers_archival']} archival, "
+          f"{stats['containers_active']} active")
+    if "counters" in stats:  # remote repositories report service counters
+        counters = stats["counters"]
+        print(f"sessions:         {stats.get('active_sessions', 0)} active, "
+              f"write queue depth {stats.get('write_queue_depth', 0)}")
+        print(f"service counters: {counters['backups']} backups "
+              f"({counters['backups_failed']} failed), "
+              f"{counters['restores']} restores, "
+              f"{format_bytes(counters['bytes_ingested'])} ingested, "
+              f"{format_bytes(counters['bytes_restored'])} restored")
     if args.detail:
+        if getattr(args, "remote", None):
+            print("error: --detail is not available over --remote", file=sys.stderr)
+            return 1
         from .analysis import fragmentation_growth
 
+        store = repo._open()
         print()
         print(f"{'version':>8s} {'chunks':>8s} {'logical':>12s} "
               f"{'containers':>11s} {'CFL':>6s} {'best sf':>8s}")
@@ -252,35 +148,72 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_delete_oldest(args: argparse.Namespace) -> int:
     """Expire the oldest retained version, GC-free."""
-    store = open_repository(args.repo)
-    versions = store.recipes.version_ids()
-    if not versions:
-        print("error: repository is empty", file=sys.stderr)
-        return 1
-    stats = store.delete_oldest()
-    manifest_path = os.path.join(
-        _repo_paths(args.repo)[2], f"manifest-{versions[0]:08d}.txt"
-    )
-    if os.path.exists(manifest_path):
-        os.remove(manifest_path)
-    if os.path.exists(_checkpoint_path(args.repo)):
-        save_checkpoint(store, _checkpoint_path(args.repo))
+    repo = _open_target(args)
+    result = repo.delete_oldest()
     print(
-        f"deleted version {versions[0]}: {stats.containers_deleted} containers, "
-        f"{format_bytes(stats.bytes_reclaimed)} reclaimed "
-        f"in {stats.delete_seconds * 1000:.2f} ms (no GC)"
+        f"deleted version {result['version_id']}: "
+        f"{result['containers_deleted']} containers, "
+        f"{format_bytes(result['bytes_reclaimed'])} reclaimed "
+        f"in {result['delete_seconds'] * 1000:.2f} ms (no GC)"
     )
     return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
     """Integrity-check every chunk reference in the repository."""
+    from .core.verify import verify_system
+
     store = open_repository(args.repo)
     report = verify_system(store)
     print(report.summary())
     for issue in report.issues[:50]:
         print(f"  - {issue}")
     return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant backup daemon until SIGTERM/SIGINT."""
+    import asyncio
+    import signal
+
+    from .client.remote import parse_address
+    from .server import BackupDaemon
+
+    host, port = parse_address(args.address)
+    daemon = BackupDaemon(
+        args.root,
+        host=host,
+        port=port,
+        window=args.window,
+        history_depth=args.history_depth,
+        compress=args.compress,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def run() -> None:
+        await daemon.start()
+        print(f"hidestore daemon listening on {daemon.address} (root {args.root})",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                signal.signal(sig, lambda *_: stop.set())
+        server_task = asyncio.ensure_future(daemon.serve_forever())
+        await stop.wait()
+        print("draining: waiting for in-flight sessions...", flush=True)
+        await daemon.shutdown()
+        server_task.cancel()
+        try:
+            await server_task
+        except asyncio.CancelledError:
+            pass
+        print("daemon stopped", flush=True)
+
+    asyncio.run(run())
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -348,6 +281,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_remote_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=None,
+        help="drive a backup daemon instead of a local directory; "
+             "<repo> then names a tenant on the server",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -372,31 +315,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="overlap container writes and filter maintenance "
                         "with ingest (the paper's §5.4 pipeline); implies "
                         "per-file chunking like --workers > 1")
+    _add_remote_flag(p)
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help="restore a version into a directory")
     p.add_argument("repo")
     p.add_argument("version", type=int)
     p.add_argument("target")
+    _add_remote_flag(p)
     p.set_defaults(func=cmd_restore)
 
     p = sub.add_parser("versions", help="list stored versions")
     p.add_argument("repo")
+    _add_remote_flag(p)
     p.set_defaults(func=cmd_versions)
 
     p = sub.add_parser("stats", help="repository statistics")
     p.add_argument("repo")
     p.add_argument("--detail", action="store_true",
-                   help="per-version fragmentation table")
+                   help="per-version fragmentation table (local only)")
+    _add_remote_flag(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("delete-oldest", help="expire the oldest version")
     p.add_argument("repo")
+    _add_remote_flag(p)
     p.set_defaults(func=cmd_delete_oldest)
 
     p = sub.add_parser("verify", help="integrity-check the repository")
     p.add_argument("repo")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("serve", help="run the multi-tenant backup daemon")
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="listen address (port 0 picks a free port)")
+    p.add_argument("--root", required=True,
+                   help="directory holding one repository per tenant")
+    p.add_argument("--window", type=_positive_int, default=64,
+                   help="ingest credit window (CHUNK_DATA frames in flight)")
+    p.add_argument("--history-depth", type=int, default=1)
+    p.add_argument("--compress", action="store_true",
+                   help="zlib-compress container files of new repositories")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds in-flight sessions get to finish on shutdown")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("trace-generate", help="write a preset workload as a trace file")
     p.add_argument("preset", choices=["kernel", "gcc", "fslhomes", "macos"])

@@ -1,0 +1,29 @@
+"""Client side of the networked backup service.
+
+:mod:`repro.client.protocol` is the sans-network frame codec shared with
+the server; :mod:`repro.client.remote` is the blocking client library
+(:class:`RemoteRepository`) the CLI's ``--remote`` flag drives.
+"""
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameType,
+    encode_data,
+    encode_error,
+    encode_json,
+    raise_remote_error,
+)
+from .remote import ConnectionPool, RemoteRepository
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ConnectionPool",
+    "FrameDecoder",
+    "FrameType",
+    "RemoteRepository",
+    "encode_data",
+    "encode_error",
+    "encode_json",
+    "raise_remote_error",
+]

@@ -1,0 +1,214 @@
+"""The backup service wire protocol: length-prefixed, versioned frames.
+
+Shared, sans-network codec — both the asyncio daemon and the blocking
+client encode/decode through this module, so the two sides can never
+disagree about the framing.
+
+Frame layout (little-endian)::
+
+    +----------------+-----------+------------------+
+    | payload length | frame type| payload          |
+    |   4 bytes (u32)| 1 byte    | length bytes     |
+    +----------------+-----------+------------------+
+
+Control frames carry a UTF-8 JSON object; ``CHUNK_DATA`` frames carry raw
+backup bytes.  A conversation opens with ``HELLO``/``HELLO_OK`` version
+negotiation; ingest streams ``BACKUP_BEGIN`` → ``CHUNK_DATA``\\ * →
+``BACKUP_END`` under a credit window (the receiver grants ``CREDIT``
+frames; the sender may have at most *window* unacknowledged data frames in
+flight — bounded memory on the server, backpressure on the client);
+restores stream ``RESTORE_META`` → ``CHUNK_DATA``\\ * → ``RESTORE_END``.
+Failures travel as ``ERROR`` frames carrying the :class:`ReproError`
+taxonomy by class name, so the client re-raises the exact exception type
+the server hit (:func:`repro.errors.error_by_name`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from enum import IntEnum
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ProtocolError, ReproError, error_by_name
+
+#: Bump when the frame vocabulary changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Handshake magic carried inside HELLO (guards against foreign clients).
+MAGIC = "HDSP"
+
+#: Hard ceiling on a single frame's payload (wire-sanity guard).
+MAX_PAYLOAD = 32 * 1024 * 1024
+
+#: Default credit window: data frames in flight before an ack is required.
+DEFAULT_WINDOW = 64
+
+#: Preferred payload size for CHUNK_DATA frames (streaming granularity).
+DATA_BLOCK = 256 * 1024
+
+_HEADER = struct.Struct("<IB")
+HEADER_SIZE = _HEADER.size
+
+
+class FrameType(IntEnum):
+    """Every frame the protocol speaks (wire-stable values)."""
+
+    HELLO = 1
+    HELLO_OK = 2
+    BACKUP_BEGIN = 3
+    CHUNK_DATA = 4
+    BACKUP_END = 5
+    BACKUP_DONE = 6
+    CREDIT = 7
+    RESTORE_BEGIN = 8
+    RESTORE_META = 9
+    RESTORE_END = 10
+    STATS = 11
+    STATS_OK = 12
+    DELETE_OLDEST = 13
+    DELETE_OK = 14
+    VERSIONS = 15
+    VERSIONS_OK = 16
+    ERROR = 17
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_frame(ftype: FrameType, payload: bytes = b"") -> bytes:
+    """Serialise one frame (header + payload) to bytes."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"frame payload of {len(payload)} B exceeds {MAX_PAYLOAD} B")
+    return _HEADER.pack(len(payload), int(ftype)) + payload
+
+
+def encode_json(ftype: FrameType, obj: dict) -> bytes:
+    """Serialise a control frame with a JSON payload."""
+    return encode_frame(ftype, json.dumps(obj, separators=(",", ":")).encode("utf-8"))
+
+
+def encode_data(payload: bytes) -> bytes:
+    """Serialise one raw CHUNK_DATA frame."""
+    return encode_frame(FrameType.CHUNK_DATA, payload)
+
+
+def encode_error(exc: BaseException) -> bytes:
+    """Serialise an exception as an ERROR frame (class name + message).
+
+    Non-:class:`ReproError` exceptions degrade to ``RemoteError`` on the
+    other side — internal failure classes are not part of the wire contract.
+    """
+    name = type(exc).__name__ if isinstance(exc, ReproError) else "RemoteError"
+    return encode_json(FrameType.ERROR, {"error": name, "message": str(exc)})
+
+
+def hello_frame() -> bytes:
+    """The handshake frame either side opens with (magic + version)."""
+    return encode_json(FrameType.HELLO, {"magic": MAGIC, "version": PROTOCOL_VERSION})
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def decode_header(header: bytes) -> Tuple[int, FrameType]:
+    """Parse + validate one frame header; returns (payload length, type)."""
+    length, raw_type = _HEADER.unpack(header)
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame announces {length} B payload (max {MAX_PAYLOAD})")
+    try:
+        return length, FrameType(raw_type)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type {raw_type}") from None
+
+
+def decode_json(payload: bytes) -> dict:
+    """Parse a control payload, mapping malformed input to ProtocolError."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed control payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("control payload must be a JSON object")
+    return obj
+
+
+def raise_remote_error(payload: bytes) -> None:
+    """Re-raise the exception an ERROR frame carries, by taxonomy class."""
+    obj = decode_json(payload)
+    cls = error_by_name(str(obj.get("error", "RemoteError")))
+    raise cls(str(obj.get("message", "remote operation failed")))
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an untrusted byte stream.
+
+    Feed it arbitrarily sliced network reads; it yields complete
+    ``(FrameType, payload)`` pairs and raises :class:`ProtocolError` on
+    garbage (unknown type, oversized payload).  Sans-I/O: usable from the
+    blocking client, the asyncio server, and tests alike.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Tuple[FrameType, bytes]]:
+        """Add received bytes; return every frame completed by them."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            frame = self._pop()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _pop(self) -> Optional[Tuple[FrameType, bytes]]:
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        length, raw_type = _HEADER.unpack_from(self._buffer, 0)
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(f"frame announces {length} B payload (max {MAX_PAYLOAD})")
+        try:
+            ftype = FrameType(raw_type)
+        except ValueError:
+            raise ProtocolError(f"unknown frame type {raw_type}") from None
+        if len(self._buffer) < HEADER_SIZE + length:
+            return None
+        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+        del self._buffer[: HEADER_SIZE + length]
+        return ftype, payload
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+
+def check_hello(payload: bytes) -> dict:
+    """Validate a HELLO payload (magic + version); returns the object."""
+    obj = decode_json(payload)
+    if obj.get("magic") != MAGIC:
+        raise ProtocolError("handshake failed: not a hidestore backup client")
+    version = obj.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    return obj
+
+
+def iter_data_blocks(blocks: "Iterator[bytes]", block_size: int = DATA_BLOCK) -> Iterator[bytes]:
+    """Re-slice a byte-block stream into wire-friendly CHUNK_DATA payloads.
+
+    Oversized source blocks are split; tiny ones pass through unmerged
+    (coalescing would add latency for no framing benefit).
+    """
+    for block in blocks:
+        if len(block) <= block_size:
+            if block:
+                yield block
+            continue
+        view = memoryview(block)
+        for offset in range(0, len(block), block_size):
+            yield bytes(view[offset : offset + block_size])

@@ -1,0 +1,400 @@
+"""Blocking client for the backup daemon (:mod:`repro.server`).
+
+:class:`RemoteRepository` mirrors the surface of
+:class:`repro.repository.LocalRepository` — ``backup_tree`` /
+``backup_blocks`` / ``restore`` / ``versions`` / ``stats`` /
+``delete_oldest`` — so the CLI's command implementations drive a tenant on
+a remote daemon exactly like a local directory.
+
+Reliability model:
+
+* every socket operation runs under a per-request timeout
+  (:class:`~repro.errors.TimeoutExceededError` when exceeded);
+* **idempotent** requests (``stats``, ``versions``, opening a restore)
+  retry transparently on connection failures with bounded exponential
+  backoff; mutating requests (``backup``, ``delete_oldest``) never retry —
+  the caller decides;
+* connections are pooled and reused across requests; a connection that saw
+  an error is discarded, never reused.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..errors import ProtocolError, RemoteError, ReproError, TimeoutExceededError
+from ..repository import FilePlan, stream_blocks
+from .protocol import (
+    FrameDecoder,
+    FrameType,
+    check_hello,
+    decode_json,
+    encode_data,
+    encode_frame,
+    encode_json,
+    hello_frame,
+    iter_data_blocks,
+    raise_remote_error,
+)
+
+Address = Union[str, Tuple[str, int]]
+
+#: Cap on one exponential-backoff sleep between retries.
+_MAX_BACKOFF = 2.0
+
+_RECV_SIZE = 256 * 1024
+
+
+def parse_address(address: Address) -> Tuple[str, int]:
+    """Accept ``(host, port)`` or ``"host:port"`` (IPv6 in brackets)."""
+    if isinstance(address, tuple):
+        return address
+    text = address.strip()
+    if text.startswith("["):  # [::1]:7777
+        host, _, rest = text[1:].partition("]")
+        if not rest.startswith(":"):
+            raise ProtocolError(f"invalid server address {address!r}")
+        return host, int(rest[1:])
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(f"invalid server address {address!r} (need HOST:PORT)")
+    return host, int(port)
+
+
+class Connection:
+    """One handshaken socket + its frame decoder."""
+
+    def __init__(self, address: Tuple[str, int], timeout: float) -> None:
+        self.timeout = timeout
+        try:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        except socket.timeout as exc:
+            raise TimeoutExceededError(f"connect to {address} timed out") from exc
+        self._sock.settimeout(timeout)
+        self._decoder = FrameDecoder()
+        self._frames: List[Tuple[FrameType, bytes]] = []
+        self.broken = False
+        try:
+            self.send(hello_frame())
+            ftype, payload = self.recv_frame()
+            if ftype == FrameType.ERROR:
+                raise_remote_error(payload)
+            if ftype != FrameType.HELLO_OK:
+                raise ProtocolError(f"expected HELLO_OK, got {ftype.name}")
+            check_hello(payload)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def send(self, data: bytes) -> None:
+        try:
+            self._sock.sendall(data)
+        except socket.timeout as exc:
+            self.broken = True
+            raise TimeoutExceededError("send timed out") from exc
+        except OSError:
+            self.broken = True
+            raise
+
+    def recv_frame(self) -> Tuple[FrameType, bytes]:
+        """Block for the next complete frame (per-operation timeout)."""
+        while not self._frames:
+            try:
+                data = self._sock.recv(_RECV_SIZE)
+            except socket.timeout as exc:
+                self.broken = True
+                raise TimeoutExceededError(
+                    f"no response within {self.timeout:.1f}s"
+                ) from exc
+            except OSError:
+                self.broken = True
+                raise
+            if not data:
+                self.broken = True
+                raise RemoteError("server closed the connection")
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.pop(0)
+
+    def pending_error(self) -> Optional[bytes]:
+        """Drain readable bytes without blocking; return an ERROR payload.
+
+        Used when a send fails mid-stream: the server very likely reported
+        *why* before closing, and that diagnosis beats ``BrokenPipeError``.
+        """
+        try:
+            self._sock.settimeout(0.2)
+            while True:
+                data = self._sock.recv(_RECV_SIZE)
+                if not data:
+                    break
+                self._frames.extend(self._decoder.feed(data))
+        except (OSError, ProtocolError):
+            pass
+        for ftype, payload in self._frames:
+            if ftype == FrameType.ERROR:
+                return payload
+        return None
+
+    def close(self) -> None:
+        self.broken = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+class ConnectionPool:
+    """A small cache of idle handshaken connections to one daemon."""
+
+    def __init__(self, address: Tuple[str, int], timeout: float, size: int = 2) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.size = size
+        self._idle: List[Connection] = []
+        self._lock = threading.Lock()
+
+    def acquire(self) -> Connection:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return Connection(self.address, self.timeout)
+
+    def release(self, conn: Connection) -> None:
+        """Return a connection; broken or surplus connections are closed."""
+        if conn.broken:
+            conn.close()
+            return
+        with self._lock:
+            if len(self._idle) < self.size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class RemoteRepository:
+    """A named tenant on a backup daemon, driven over the wire.
+
+    Args:
+        address: daemon address (``"host:port"`` or a tuple).
+        repo: tenant (repository) name on the server.
+        timeout: per-socket-operation deadline in seconds.
+        retries: attempts for idempotent requests (1 = no retry).
+        backoff: initial exponential-backoff delay between retries.
+        pool_size: idle connections kept for reuse.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        repo: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+        pool_size: int = 2,
+    ) -> None:
+        self.repo = repo
+        self.retries = max(1, retries)
+        self.backoff = backoff
+        self.pool = ConnectionPool(parse_address(address), timeout, pool_size)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "RemoteRepository":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _with_retries(self, operation):
+        """Run an idempotent operation with exponential-backoff retries."""
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries):
+            if attempt:
+                time.sleep(min(self.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF))
+            try:
+                return operation()
+            except ReproError as exc:
+                if isinstance(exc, (TimeoutExceededError, ProtocolError)):
+                    last = exc  # transport trouble: worth another attempt
+                    continue
+                raise  # the server answered; retrying cannot change it
+            except OSError as exc:
+                last = exc
+                continue
+        if isinstance(last, ReproError):
+            raise last
+        raise RemoteError(f"request failed after {self.retries} attempts: {last}") from last
+
+    def _simple_request(self, request: bytes, expect: FrameType) -> dict:
+        conn = self.pool.acquire()
+        try:
+            conn.send(request)
+            ftype, payload = conn.recv_frame()
+            if ftype == FrameType.ERROR:
+                raise_remote_error(payload)
+            if ftype != expect:
+                raise ProtocolError(f"expected {expect.name}, got {ftype.name}")
+            return decode_json(payload)
+        except BaseException:
+            conn.close()
+            raise
+        finally:
+            self.pool.release(conn)
+
+    # ------------------------------------------------------------------
+    # Backup (mutating — never retried)
+    # ------------------------------------------------------------------
+    def backup_tree(self, entries: List[Tuple[str, str]], tag: str = "") -> Dict:
+        """Stream files from disk ((rel, path) rows) to the daemon."""
+        plan: FilePlan = [(rel, os.path.getsize(path)) for rel, path in entries]
+        return self.backup_blocks(stream_blocks(entries), plan, tag)
+
+    def backup_blocks(self, blocks: Iterable[bytes], plan: FilePlan, tag: str = "") -> Dict:
+        """Stream one version's bytes under the server's credit window."""
+        conn = self.pool.acquire()
+        try:
+            begin = {
+                "repo": self.repo,
+                "tag": tag or "",
+                "files": [[rel, size] for rel, size in plan],
+            }
+            conn.send(encode_json(FrameType.BACKUP_BEGIN, begin))
+            credits = 0
+            for block in iter_data_blocks(iter(blocks)):
+                while credits <= 0:
+                    credits += self._await_credit(conn)
+                try:
+                    conn.send(encode_data(block))
+                except OSError as exc:
+                    error = conn.pending_error()
+                    if error is not None:
+                        raise_remote_error(error)
+                    raise RemoteError(f"connection lost mid-backup: {exc}") from exc
+                credits -= 1
+            conn.send(encode_frame(FrameType.BACKUP_END))
+            while True:
+                ftype, payload = conn.recv_frame()
+                if ftype == FrameType.CREDIT:
+                    continue
+                if ftype == FrameType.ERROR:
+                    raise_remote_error(payload)
+                if ftype != FrameType.BACKUP_DONE:
+                    raise ProtocolError(f"expected BACKUP_DONE, got {ftype.name}")
+                return decode_json(payload)
+        except BaseException:
+            conn.close()
+            raise
+        finally:
+            self.pool.release(conn)
+
+    @staticmethod
+    def _await_credit(conn: Connection) -> int:
+        ftype, payload = conn.recv_frame()
+        if ftype == FrameType.ERROR:
+            raise_remote_error(payload)
+        if ftype != FrameType.CREDIT:
+            raise ProtocolError(f"expected CREDIT, got {ftype.name}")
+        frames = decode_json(payload).get("frames", 0)
+        if not isinstance(frames, int) or frames <= 0:
+            raise ProtocolError("CREDIT must grant a positive frame count")
+        return frames
+
+    # ------------------------------------------------------------------
+    # Restore (idempotent to open; streaming once opened)
+    # ------------------------------------------------------------------
+    def restore(self, version_id: int) -> Tuple[FilePlan, Iterator[bytes]]:
+        """A version's file plan plus its reassembled byte stream."""
+
+        def begin() -> Tuple[Connection, dict]:
+            conn = self.pool.acquire()
+            try:
+                conn.send(
+                    encode_json(
+                        FrameType.RESTORE_BEGIN,
+                        {"repo": self.repo, "version": version_id},
+                    )
+                )
+                ftype, payload = conn.recv_frame()
+                if ftype == FrameType.ERROR:
+                    raise_remote_error(payload)
+                if ftype != FrameType.RESTORE_META:
+                    raise ProtocolError(f"expected RESTORE_META, got {ftype.name}")
+                return conn, decode_json(payload)
+            except BaseException:
+                conn.close()
+                self.pool.release(conn)
+                raise
+
+        conn, meta = self._with_retries(begin)
+        plan: FilePlan = [(rel, size) for rel, size in meta.get("files", [])]
+
+        def data() -> Iterator[bytes]:
+            try:
+                while True:
+                    ftype, payload = conn.recv_frame()
+                    if ftype == FrameType.CHUNK_DATA:
+                        yield payload
+                    elif ftype == FrameType.RESTORE_END:
+                        return
+                    elif ftype == FrameType.ERROR:
+                        raise_remote_error(payload)
+                    else:
+                        raise ProtocolError(f"unexpected {ftype.name} during restore")
+            except BaseException:
+                conn.close()
+                raise
+            finally:
+                self.pool.release(conn)
+
+        return plan, data()
+
+    # ------------------------------------------------------------------
+    # Idempotent control requests (retried)
+    # ------------------------------------------------------------------
+    def versions(self) -> List[Dict]:
+        reply = self._with_retries(
+            lambda: self._simple_request(
+                encode_json(FrameType.VERSIONS, {"repo": self.repo}),
+                FrameType.VERSIONS_OK,
+            )
+        )
+        return list(reply.get("versions", []))
+
+    def stats(self) -> Dict:
+        return self._with_retries(
+            lambda: self._simple_request(
+                encode_json(FrameType.STATS, {"repo": self.repo}), FrameType.STATS_OK
+            )
+        )
+
+    def server_stats(self) -> Dict:
+        """Daemon-wide counters (every repo + service totals)."""
+        return self._with_retries(
+            lambda: self._simple_request(
+                encode_json(FrameType.STATS, {"repo": None}), FrameType.STATS_OK
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Deletion (mutating — never retried)
+    # ------------------------------------------------------------------
+    def delete_oldest(self) -> Dict:
+        return self._simple_request(
+            encode_json(FrameType.DELETE_OLDEST, {"repo": self.repo}),
+            FrameType.DELETE_OK,
+        )

@@ -162,6 +162,9 @@ class PipelinedIngestEngine:
     def version_ids(self) -> List[int]:
         return self.system.version_ids()
 
+    def version_summaries(self) -> List[dict]:
+        return self.system.version_summaries()
+
     def stored_bytes(self) -> int:
         self.join()
         return self.system.stored_bytes()

@@ -54,3 +54,42 @@ class DeletionError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid synthetic-workload or trace configuration."""
+
+
+class RemoteError(ReproError):
+    """A remote backup-service operation failed.
+
+    Raised client-side when the server reports a failure that does not map
+    onto a more specific :class:`ReproError` subclass, or when the
+    connection to the server is lost mid-operation.
+    """
+
+
+class ProtocolError(RemoteError):
+    """The wire conversation violated the backup frame protocol.
+
+    Covers malformed frames, oversized payloads, version mismatches and
+    frames arriving in an impossible order — on either side of the socket.
+    """
+
+
+class TimeoutExceededError(RemoteError):
+    """A remote request did not complete within its deadline."""
+
+
+class ServerDrainingError(RemoteError):
+    """The server is shutting down and refuses new mutating sessions."""
+
+
+def error_by_name(name: str) -> type:
+    """Map an exception class name back to its :class:`ReproError` subclass.
+
+    The wire protocol sends errors as ``(class name, message)`` pairs; this
+    resolves the name on the receiving side so the single-catch guarantee
+    (everything derives from :class:`ReproError`) survives the network hop.
+    Unknown names degrade to :class:`RemoteError`.
+    """
+    cls = globals().get(name)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls
+    return RemoteError

@@ -73,6 +73,8 @@ class BackupEngine(Protocol):
 
     def version_ids(self) -> List[int]: ...
 
+    def version_summaries(self) -> "List[dict]": ...
+
     def stored_bytes(self) -> int: ...
 
     @property
@@ -165,6 +167,26 @@ class RestoreMixin:
         return result
 
     # ------------------------------------------------------------------
+    def version_summaries(self) -> List[dict]:
+        """Per-version metadata rows (billing-free): id, tag, chunks, bytes.
+
+        This is the ``versions`` listing every front end (CLI, service
+        ``VERSIONS`` frame) renders; it reads recipe metadata only, so it is
+        safe to call concurrently with restores.
+        """
+        rows = []
+        for version_id in self.recipes.version_ids():
+            recipe = self.recipes.peek(version_id)
+            rows.append(
+                {
+                    "version_id": version_id,
+                    "tag": recipe.tag,
+                    "chunks": len(recipe),
+                    "logical_bytes": recipe.logical_size,
+                }
+            )
+        return rows
+
     def resolved_entries(self, version_id: int) -> "List[RecipeEntry]":
         """A version's entries with concrete container IDs, billing-free.
 

@@ -1,0 +1,412 @@
+"""Repository front end: one surface for local directories and the service.
+
+The CLI, the backup daemon and the remote client all drive repositories
+through the same small vocabulary:
+
+* ``backup_tree(entries, tag)`` / ``backup_blocks(blocks, plan, tag)``
+* ``restore(version) -> (plan, data_iter)``
+* ``versions()`` / ``stats()`` / ``delete_oldest()``
+
+:class:`LocalRepository` implements it over an on-disk HiDeStore repository
+(the layout the ``hidestore`` CLI has always used); the server hosts one
+``LocalRepository`` per tenant, and :class:`repro.client.RemoteRepository`
+implements the same vocabulary over the wire — so ``cmd_backup`` et al.
+genuinely share one code path between ``repo/`` and ``--remote HOST:PORT``.
+
+Failed backups **roll back**: a backup that dies mid-stream (client
+disconnect, storage error, process kill) leaves no recipe, no manifest, no
+orphaned container files and no ``*.tmp`` litter — the repository looks
+exactly as it did before the attempt.  This is the invariant the network
+daemon's "partially streamed versions never become visible" guarantee is
+built on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .chunking import FastCDCChunker
+from .core.checkpoint import load_checkpoint, save_checkpoint
+from .core.hidestore import HiDeStore
+from .errors import ReproError, RestoreError, VersionNotFoundError
+from .storage.container_store import FileContainerStore
+from .storage.recipe import FileRecipeStore
+
+#: (relative name, byte size) rows describing the files of one snapshot.
+FilePlan = List[Tuple[str, int]]
+
+
+def repo_paths(repo: str) -> Tuple[str, str, str]:
+    """The ``containers/``, ``recipes/``, ``manifests/`` dirs of a repo."""
+    return (
+        os.path.join(repo, "containers"),
+        os.path.join(repo, "recipes"),
+        os.path.join(repo, "manifests"),
+    )
+
+
+def checkpoint_path(repo: str) -> str:
+    """Where a repository persists its volatile engine state."""
+    return os.path.join(repo, "checkpoint.json")
+
+
+def open_repository(repo: str, history_depth: int = 1, compress: bool = False) -> HiDeStore:
+    """Open (or initialise) a HiDeStore repository directory.
+
+    The sealed world lives in ``containers/`` and ``recipes/``; the volatile
+    state (T1 tables, active containers, deletion tags) is reloaded from
+    ``checkpoint.json`` — written after every backup — so physical locality
+    and the version counter survive across invocations.
+    """
+    containers_dir, recipes_dir, manifests_dir = repo_paths(repo)
+    os.makedirs(manifests_dir, exist_ok=True)
+    checkpoint = checkpoint_path(repo)
+    if os.path.exists(checkpoint):
+        return load_checkpoint(
+            checkpoint,
+            FileContainerStore(containers_dir, compress=compress),
+            FileRecipeStore(recipes_dir),
+        )
+    store = HiDeStore(
+        container_store=FileContainerStore(containers_dir, compress=compress),
+        recipe_store=FileRecipeStore(recipes_dir),
+        history_depth=history_depth,
+    )
+    existing = store.recipes.version_ids()
+    if existing:
+        # Legacy repository without a checkpoint: the previous session must
+        # have retired the store; resume via recipe priming (§4.1).
+        store._next_version = existing[-1] + 1
+        store._retired = True
+    return store
+
+
+def read_tree(source: str) -> List[Tuple[str, str]]:
+    """All files under ``source`` as (relative name, absolute path), sorted."""
+    entries = []
+    for root, _dirs, files in os.walk(source):
+        for name in files:
+            path = os.path.join(root, name)
+            entries.append((os.path.relpath(path, source), path))
+    entries.sort()
+    return entries
+
+
+def stream_blocks(
+    entries: List[Tuple[str, str]], block_size: int = 1 << 20
+) -> Iterator[bytes]:
+    """Concatenated file contents as fixed-size blocks, in manifest order."""
+    for _rel, path in entries:
+        with open(path, "rb") as handle:
+            while True:
+                block = handle.read(block_size)
+                if not block:
+                    break
+                yield block
+
+
+def materialize(plan: FilePlan, data: Iterable[bytes], target: str) -> int:
+    """Split a restored byte stream back into files under ``target``.
+
+    ``plan`` carries the file boundaries (name + length, concatenation
+    order); ``data`` yields the reassembled stream in arbitrary block
+    sizes.  Returns the number of files written.
+    """
+    os.makedirs(target, exist_ok=True)
+    blocks = iter(data)
+    buffer = bytearray()
+    restored = 0
+    for rel, size in plan:
+        while len(buffer) < size:
+            try:
+                buffer.extend(next(blocks))
+            except StopIteration:
+                raise RestoreError(
+                    f"restore stream ended early: {rel} needs {size} bytes, "
+                    f"got {len(buffer)}"
+                ) from None
+        out_path = os.path.join(target, rel)
+        os.makedirs(os.path.dirname(out_path) or target, exist_ok=True)
+        with open(out_path, "wb") as handle:
+            handle.write(bytes(buffer[:size]))
+        del buffer[:size]
+        restored += 1
+    return restored
+
+
+class LocalRepository:
+    """An on-disk HiDeStore repository behind the shared front-end surface.
+
+    Args:
+        root: repository directory (created on first backup).
+        history_depth: fingerprint-cache look-back for new repositories.
+        compress: zlib-compress container files on disk.
+        workers / pipeline: parallel-ingest knobs for :meth:`backup_tree`
+            (forwarded to the §5.4 engine; the server keeps the defaults).
+
+    Thread-safety: backups and deletions must be externally serialised (the
+    daemon's per-repo writer lock does this); concurrent restores and stats
+    are safe — the engine's internal lock guards the flatten/maintenance
+    steps they share.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        history_depth: int = 1,
+        compress: bool = False,
+        workers: int = 1,
+        pipeline: bool = False,
+    ) -> None:
+        self.root = root
+        self.history_depth = history_depth
+        self.compress = compress
+        self.workers = workers
+        self.pipeline = pipeline
+        self._store: Optional[HiDeStore] = None
+        self._open_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Engine lifecycle
+    # ------------------------------------------------------------------
+    def _open(self) -> HiDeStore:
+        with self._open_lock:
+            if self._store is None:
+                self._store = open_repository(
+                    self.root, self.history_depth, compress=self.compress
+                )
+            return self._store
+
+    def _open_for_backup(self) -> HiDeStore:
+        store = self._open()
+        # A retired store cannot take further backups until its cache is
+        # rebuilt from the last recipe (§4.1's T1 prefetch, cross-session).
+        if store._retired and store.recipes.latest_version() is not None:
+            store.prime_from_recipe()
+        else:
+            store._retired = False
+        return store
+
+    def _manifest_path(self, version_id: int) -> str:
+        return os.path.join(repo_paths(self.root)[2], f"manifest-{version_id:08d}.txt")
+
+    # ------------------------------------------------------------------
+    # Backup
+    # ------------------------------------------------------------------
+    def backup_tree(self, entries: List[Tuple[str, str]], tag: str = "") -> Dict:
+        """Back up files from disk ((rel, path) rows, see :func:`read_tree`)."""
+        plan: FilePlan = [(rel, os.path.getsize(path)) for rel, path in entries]
+        if self.workers > 1 or self.pipeline:
+            return self._backup_pipelined(entries, plan, tag)
+        return self.backup_blocks(stream_blocks(entries), plan, tag)
+
+    def backup_blocks(self, blocks: Iterable[bytes], plan: FilePlan, tag: str = "") -> Dict:
+        """Back up an incoming byte-block stream as one version.
+
+        ``plan`` carries the file boundaries for the manifest; the blocks
+        are the concatenation of those files, in order (any block sizing).
+        This is the entry point the network daemon feeds frames into:
+        chunking + fingerprinting run lazily, so ingest overlaps with frame
+        arrival instead of buffering the whole version first.
+        """
+        from .chunking.fingerprint import Fingerprinter
+        from .engine.pipeline import LazyBackupStream
+
+        store = self._open_for_backup()
+        chunker = FastCDCChunker()
+        fingerprinter = Fingerprinter()
+
+        def chunks():
+            for piece in chunker.split_stream(iter(blocks)):
+                yield fingerprinter.chunk(piece)
+
+        stream = LazyBackupStream(chunks(), tag=tag or "")
+        return self._guarded_backup(store, lambda: store.backup(stream), plan)
+
+    def _backup_pipelined(self, entries, plan: FilePlan, tag: str) -> Dict:
+        from .engine import (
+            MaintenanceExecutor,
+            ParallelChunkPipeline,
+            install_write_behind,
+        )
+
+        store = self._open_for_backup()
+        write_behind = None
+        executor = None
+        if self.pipeline:
+            write_behind = install_write_behind(store)
+            executor = MaintenanceExecutor()
+            store.deferred_maintenance = True
+            store.attach_maintenance_executor(executor)
+
+        def items() -> Iterator[bytes]:
+            for _rel, path in entries:
+                with open(path, "rb") as handle:
+                    yield handle.read()
+
+        chunker = FastCDCChunker()
+        try:
+
+            def run():
+                with ParallelChunkPipeline(chunker=chunker, workers=self.workers) as pipe:
+                    return store.backup(pipe.stream(items(), tag=tag or ""))
+
+            # save_checkpoint (inside the guard) drains queued maintenance,
+            # so the background executor is idle by the time it is closed.
+            return self._guarded_backup(store, run, plan)
+        finally:
+            if executor is not None:
+                executor.close()
+            if write_behind is not None:
+                write_behind.close()
+
+    def _guarded_backup(self, store: HiDeStore, run, plan: FilePlan) -> Dict:
+        """Run one backup attempt; on any failure, roll the repo back."""
+        containers_dir, recipes_dir, _ = repo_paths(self.root)
+        mark = store.containers.next_id
+        versions_before = set(store.recipes.version_ids())
+        latest = store.recipes.latest_version()
+        prev_blob: Optional[bytes] = None
+        if latest is not None:
+            # The previous recipe is the one chunk-filter maintenance may
+            # rewrite in place (§4.3); snapshot it for rollback.
+            prev_path = os.path.join(recipes_dir, f"recipe-{latest:08d}.hdsr")
+            if os.path.exists(prev_path):
+                with open(prev_path, "rb") as handle:
+                    prev_blob = handle.read()
+        try:
+            report = run()
+            manifest = self._manifest_path(report.version_id)
+            with open(manifest, "w", encoding="utf-8") as handle:
+                for rel, size in plan:
+                    handle.write(f"{size}\t{rel}\n")
+            save_checkpoint(store, checkpoint_path(self.root))
+        except BaseException:
+            self._rollback(mark, versions_before, latest, prev_blob)
+            raise
+        return {
+            "version_id": report.version_id,
+            "tag": report.tag,
+            "total_chunks": report.total_chunks,
+            "unique_chunks": report.unique_chunks,
+            "duplicate_chunks": report.duplicate_chunks,
+            "logical_bytes": report.logical_bytes,
+            "stored_bytes": report.stored_bytes,
+        }
+
+    def _rollback(
+        self,
+        mark: int,
+        versions_before: set,
+        latest: Optional[int],
+        prev_blob: Optional[bytes],
+    ) -> None:
+        """Erase every trace of a failed backup attempt.
+
+        Deletes recipes/manifests of versions that were not visible before
+        the attempt, restores the previous recipe (in-place chain updates),
+        unlinks container files allocated during the attempt and drops the
+        in-memory engine — the next operation reloads from the checkpoint,
+        which was last written at a good version boundary.
+        """
+        containers_dir, recipes_dir, manifests_dir = repo_paths(self.root)
+        with self._open_lock:
+            self._store = None
+        if os.path.isdir(recipes_dir):
+            probe = FileRecipeStore(recipes_dir)
+            for vid in probe.version_ids():
+                if vid not in versions_before:
+                    probe.delete(vid)
+        if prev_blob is not None and latest is not None:
+            prev_path = os.path.join(recipes_dir, f"recipe-{latest:08d}.hdsr")
+            with open(prev_path, "wb") as handle:
+                handle.write(prev_blob)
+        if os.path.isdir(containers_dir):
+            for name in os.listdir(containers_dir):
+                path = os.path.join(containers_dir, name)
+                if name.endswith(".tmp"):
+                    os.remove(path)
+                elif name.startswith("container-") and name.endswith(".hdsc"):
+                    cid = int(name[len("container-") : -len(".hdsc")])
+                    if cid >= mark:
+                        os.remove(path)
+        if os.path.isdir(manifests_dir):
+            for name in os.listdir(manifests_dir):
+                if name.startswith("manifest-") and name.endswith(".txt"):
+                    vid = int(name[len("manifest-") : -len(".txt")])
+                    if vid not in versions_before:
+                        os.remove(os.path.join(manifests_dir, name))
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def restore_plan(self, version_id: int) -> FilePlan:
+        """The file boundaries of a stored version (from its manifest)."""
+        manifest = self._manifest_path(version_id)
+        if not os.path.exists(manifest):
+            raise VersionNotFoundError(f"no manifest for version {version_id}")
+        plan: FilePlan = []
+        with open(manifest, "r", encoding="utf-8") as handle:
+            for line in handle:
+                size_str, rel = line.rstrip("\n").split("\t", 1)
+                plan.append((rel, int(size_str)))
+        return plan
+
+    def restore(self, version_id: int) -> Tuple[FilePlan, Iterator[bytes]]:
+        """A version's file plan plus its reassembled byte stream."""
+        store = self._open()
+        plan = self.restore_plan(version_id)
+
+        def data() -> Iterator[bytes]:
+            for chunk in store.restore_chunks(version_id):
+                if chunk.data is None:
+                    raise ReproError("repository chunk carries no payload")
+                yield chunk.data
+
+        return plan, data()
+
+    # ------------------------------------------------------------------
+    # Introspection + deletion
+    # ------------------------------------------------------------------
+    def versions(self) -> List[Dict]:
+        return self._open().version_summaries()
+
+    def stats(self) -> Dict:
+        store = self._open()
+        logical = sum(
+            store.recipes.peek(v).logical_size for v in store.recipes.version_ids()
+        )
+        stored = store.containers.stored_bytes() + store.pool.hot_bytes()
+        ratio = 0.0 if logical == 0 else (logical - stored) / logical
+        return {
+            "versions": len(store.recipes.version_ids()),
+            "logical_bytes": logical,
+            "stored_bytes": stored,
+            "dedup_ratio": ratio,
+            "containers_archival": len(store.containers),
+            "containers_active": store.pool.container_count(),
+            "containers_read": store.io.container_reads,
+            "containers_written": store.io.container_writes,
+            "pending_maintenance": store.pending_maintenance,
+        }
+
+    def delete_oldest(self) -> Dict:
+        store = self._open()
+        versions = store.recipes.version_ids()
+        if not versions:
+            raise VersionNotFoundError("repository is empty")
+        oldest = versions[0]
+        stats = store.delete_oldest()
+        manifest = self._manifest_path(oldest)
+        if os.path.exists(manifest):
+            os.remove(manifest)
+        if os.path.exists(checkpoint_path(self.root)):
+            save_checkpoint(store, checkpoint_path(self.root))
+        return {
+            "version_id": oldest,
+            "containers_deleted": stats.containers_deleted,
+            "bytes_reclaimed": stats.bytes_reclaimed,
+            "delete_seconds": stats.delete_seconds,
+        }

@@ -1,0 +1,14 @@
+"""The networked backup service: an asyncio daemon over HiDeStore repos.
+
+The paper positions HiDeStore as *middleware between backup clients and
+storage* (§4, Fig. 1); this package is that deployment shape.
+:class:`BackupDaemon` serves the length-prefixed frame protocol defined in
+:mod:`repro.client.protocol` over TCP, hosting multiple named repositories
+(:class:`RepositoryRegistry`) with per-repo writer locks, credit-window
+ingest backpressure and graceful drain on shutdown.
+"""
+
+from .daemon import BackupDaemon, DaemonThread
+from .registry import ReadWriteLock, RepositoryRegistry
+
+__all__ = ["BackupDaemon", "DaemonThread", "ReadWriteLock", "RepositoryRegistry"]

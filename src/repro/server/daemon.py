@@ -1,0 +1,487 @@
+"""The asyncio backup daemon: TCP frame service over hosted repositories.
+
+Concurrency model: the event loop owns every socket; blocking engine work
+(chunking, dedup, container I/O) runs on worker threads via
+``asyncio.to_thread``.  Ingest streams bridge the two worlds through a
+credit-bounded queue — the loop-side session enqueues ``CHUNK_DATA``
+payloads as frames arrive, the engine-side thread dequeues them as the
+chunker demands bytes, and consumption notifications flow back to the loop
+to grant the client more window.  At most *window* data frames are ever
+buffered per backup, however fast the client pushes.
+
+Failure semantics: a backup whose session dies (disconnect, cancellation
+during shutdown) aborts the engine thread, which rolls the repository back
+(:meth:`repro.repository.LocalRepository._guarded_backup`) — partially
+streamed versions never become visible and leave no ``*.tmp`` litter.
+Shutdown is a graceful drain: the listener closes, new backups are
+refused (``ServerDrainingError``), in-flight sessions get
+``drain_timeout`` seconds to finish, stragglers are cancelled into the
+rollback path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from typing import Dict, Optional, Set, Tuple
+
+from ..client.protocol import (
+    DEFAULT_WINDOW,
+    HEADER_SIZE,
+    MAGIC,
+    PROTOCOL_VERSION,
+    FrameType,
+    check_hello,
+    decode_header,
+    decode_json,
+    encode_data,
+    encode_error,
+    encode_json,
+)
+from ..errors import ProtocolError, ReproError, RemoteError, ServerDrainingError
+from ..repository import FilePlan
+from .registry import RepoHandle, RepositoryRegistry
+
+#: Sentinel closing a backup's block queue (client sent BACKUP_END).
+_EOF = object()
+
+#: Chunk-data blobs pulled per thread hop on the restore path.
+_RESTORE_BATCH = 32
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[FrameType, bytes]:
+    """Read exactly one validated frame from the stream."""
+    header = await reader.readexactly(HEADER_SIZE)
+    length, ftype = decode_header(header)
+    payload = await reader.readexactly(length) if length else b""
+    return ftype, payload
+
+
+def _pull_batch(iterator, limit: int) -> list:
+    """Drain up to ``limit`` items from a blocking iterator (thread-side)."""
+    batch = []
+    try:
+        for _ in range(limit):
+            batch.append(next(iterator))
+    except StopIteration:
+        pass
+    return batch
+
+
+class _EndSession(Exception):
+    """Internal: tear down this client connection (after an ERROR frame)."""
+
+
+class _Session:
+    """One client connection's frame conversation."""
+
+    def __init__(self, daemon: "BackupDaemon", reader, writer) -> None:
+        self.daemon = daemon
+        self.reader = reader
+        self.writer = writer
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        try:
+            await self._handshake()
+            while True:
+                try:
+                    ftype, payload = await read_frame(self.reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client hung up between requests
+                await self._dispatch(ftype, payload)
+        except _EndSession:
+            pass
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except ProtocolError as exc:
+            await self._send_error(exc)
+        finally:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(self) -> None:
+        ftype, payload = await read_frame(self.reader)
+        if ftype != FrameType.HELLO:
+            raise ProtocolError(f"expected HELLO, got {ftype.name}")
+        check_hello(payload)
+        self.writer.write(
+            encode_json(
+                FrameType.HELLO_OK,
+                {
+                    "magic": MAGIC,
+                    "version": PROTOCOL_VERSION,
+                    "window": self.daemon.window,
+                },
+            )
+        )
+        await self.writer.drain()
+
+    async def _send_error(self, exc: BaseException) -> None:
+        try:
+            self.writer.write(encode_error(exc))
+            await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, ftype: FrameType, payload: bytes) -> None:
+        handlers = {
+            FrameType.BACKUP_BEGIN: self._handle_backup,
+            FrameType.RESTORE_BEGIN: self._handle_restore,
+            FrameType.STATS: self._handle_stats,
+            FrameType.VERSIONS: self._handle_versions,
+            FrameType.DELETE_OLDEST: self._handle_delete_oldest,
+        }
+        handler = handlers.get(ftype)
+        if handler is None:
+            raise ProtocolError(f"unexpected {ftype.name} frame between requests")
+        try:
+            await handler(decode_json(payload))
+        except (_EndSession, asyncio.CancelledError):
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError):
+            raise _EndSession() from None
+        except ProtocolError as exc:
+            # Framing is no longer trustworthy: report and hang up.
+            await self._send_error(exc)
+            raise _EndSession() from None
+        except Exception as exc:  # ReproError and anything unexpected
+            await self._send_error(exc)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    async def _handle_backup(self, obj: dict) -> None:
+        if self.daemon.draining:
+            raise ServerDrainingError("server is draining; retry the backup elsewhere")
+        handle = self.daemon.registry.get(obj.get("repo"), create=True)
+        plan: FilePlan = [(str(rel), int(size)) for rel, size in obj.get("files", [])]
+        tag = str(obj.get("tag", "") or "")
+        async with handle.lock.write_locked():
+            handle.active_ops += 1
+            try:
+                await self._run_backup(handle, plan, tag)
+            finally:
+                handle.active_ops -= 1
+
+    async def _run_backup(self, handle: RepoHandle, plan: FilePlan, tag: str) -> None:
+        loop = asyncio.get_running_loop()
+        window = self.daemon.window
+        blocks: "queue.Queue" = queue.Queue()
+        consumed = {"since_grant": 0, "total": 0}
+
+        def note_consumed() -> None:
+            # Loop-side: grant fresh window as the engine drains the queue.
+            consumed["total"] += 1
+            consumed["since_grant"] += 1
+            if consumed["since_grant"] >= max(1, window // 2) and not self.writer.is_closing():
+                grant, consumed["since_grant"] = consumed["since_grant"], 0
+                self.writer.write(encode_json(FrameType.CREDIT, {"frames": grant}))
+
+        def block_iter():
+            # Thread-side: feed the chunker from the frame queue.
+            while True:
+                item = blocks.get()
+                if item is _EOF:
+                    return
+                if isinstance(item, BaseException):
+                    raise item
+                loop.call_soon_threadsafe(note_consumed)
+                yield item
+
+        # Initial window, then start the engine before reading any data.
+        self.writer.write(encode_json(FrameType.CREDIT, {"frames": window}))
+        await self.writer.drain()
+        backup_task = asyncio.ensure_future(
+            asyncio.to_thread(handle.repository.backup_blocks, block_iter(), plan, tag)
+        )
+
+        received = 0
+        try:
+            while True:
+                ftype, payload = await read_frame(self.reader)
+                if ftype == FrameType.CHUNK_DATA:
+                    received += 1
+                    if received - consumed["total"] > window * 2:
+                        raise ProtocolError("client overran its credit window")
+                    blocks.put(payload)
+                elif ftype == FrameType.BACKUP_END:
+                    blocks.put(_EOF)
+                    break
+                else:
+                    raise ProtocolError(f"unexpected {ftype.name} frame mid-backup")
+                if backup_task.done() and backup_task.exception() is not None:
+                    break  # engine already failed: stop accepting data
+            report = await backup_task
+        except BaseException as first:
+            # Abort the engine thread (triggers repository rollback), wait
+            # for the rollback to complete, then surface the root cause.
+            blocks.put(
+                first
+                if isinstance(first, ReproError)
+                else RemoteError("backup session aborted")
+            )
+            try:
+                await asyncio.shield(backup_task)
+            except BaseException:
+                pass
+            handle.note_backup_failed()
+            if isinstance(first, ReproError) and not isinstance(first, ProtocolError):
+                await self._send_error(first)
+                raise _EndSession() from first
+            raise
+
+        handle.note_backup(report)
+        self.daemon.note_session("backup")
+        self.writer.write(encode_json(FrameType.BACKUP_DONE, report))
+        await self.writer.drain()
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    async def _handle_restore(self, obj: dict) -> None:
+        handle = self.daemon.registry.get(obj.get("repo"))
+        version = int(obj.get("version", 0))
+        async with handle.lock.read_locked():
+            handle.active_ops += 1
+            try:
+                plan, data = await asyncio.to_thread(handle.repository.restore, version)
+                self.writer.write(
+                    encode_json(
+                        FrameType.RESTORE_META,
+                        {"version": version, "files": [[rel, size] for rel, size in plan]},
+                    )
+                )
+                await self.writer.drain()
+                sent_chunks = 0
+                sent_bytes = 0
+                iterator = iter(data)
+                while True:
+                    batch = await asyncio.to_thread(_pull_batch, iterator, _RESTORE_BATCH)
+                    for blob in batch:
+                        self.writer.write(encode_data(blob))
+                        sent_chunks += 1
+                        sent_bytes += len(blob)
+                    await self.writer.drain()  # TCP backpressure for the stream
+                    if len(batch) < _RESTORE_BATCH:
+                        break
+                self.writer.write(
+                    encode_json(
+                        FrameType.RESTORE_END,
+                        {"chunks": sent_chunks, "bytes": sent_bytes},
+                    )
+                )
+                await self.writer.drain()
+                handle.note_restore(sent_bytes)
+                self.daemon.note_session("restore")
+            finally:
+                handle.active_ops -= 1
+
+    # ------------------------------------------------------------------
+    # Control requests
+    # ------------------------------------------------------------------
+    async def _handle_stats(self, obj: dict) -> None:
+        name = obj.get("repo")
+        if name is None:
+            doc = await asyncio.to_thread(self.daemon.registry.stats)
+            doc["server"] = self.daemon.server_stats()
+        else:
+            handle = self.daemon.registry.get(name)
+            async with handle.lock.read_locked():
+                doc = await asyncio.to_thread(handle.stats)
+        self.daemon.note_session("stats")
+        self.writer.write(encode_json(FrameType.STATS_OK, doc))
+        await self.writer.drain()
+
+    async def _handle_versions(self, obj: dict) -> None:
+        handle = self.daemon.registry.get(obj.get("repo"))
+        async with handle.lock.read_locked():
+            rows = await asyncio.to_thread(handle.repository.versions)
+        self.daemon.note_session("versions")
+        self.writer.write(encode_json(FrameType.VERSIONS_OK, {"versions": rows}))
+        await self.writer.drain()
+
+    async def _handle_delete_oldest(self, obj: dict) -> None:
+        handle = self.daemon.registry.get(obj.get("repo"))
+        async with handle.lock.write_locked():
+            handle.active_ops += 1
+            try:
+                result = await asyncio.to_thread(handle.repository.delete_oldest)
+            finally:
+                handle.active_ops -= 1
+        handle.note_delete()
+        self.daemon.note_session("delete")
+        self.writer.write(encode_json(FrameType.DELETE_OK, result))
+        await self.writer.drain()
+
+
+class BackupDaemon:
+    """The multi-tenant asyncio backup service.
+
+    Args:
+        root: directory holding one repository subdirectory per tenant.
+        host / port: listen address (port 0 picks a free port; see
+            :attr:`address` after :meth:`start`).
+        window: ingest credit window, in CHUNK_DATA frames per backup.
+        history_depth / compress: forwarded to newly created repositories.
+        drain_timeout: seconds in-flight sessions get to finish on
+            :meth:`shutdown` before being cancelled into rollback.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: int = DEFAULT_WINDOW,
+        history_depth: int = 1,
+        compress: bool = False,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        if window < 1:
+            raise ReproError("credit window must be at least 1 frame")
+        self.registry = RepositoryRegistry(root, history_depth, compress)
+        self.host = host
+        self.port = port
+        self.window = window
+        self.drain_timeout = drain_timeout
+        self.draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sessions: Set[asyncio.Task] = set()
+        self._started = time.monotonic()
+        self._session_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (resolves the real port for ``port=0``)."""
+        self._server = await asyncio.start_server(self._accept, self.host, self.port)
+        self._started = time.monotonic()
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def _accept(self, reader, writer) -> None:
+        session = _Session(self, reader, writer)
+        task = asyncio.current_task()
+        self._sessions.add(task)
+        try:
+            await session.run()
+        except asyncio.CancelledError:
+            # Shutdown cancelled this session; the connection teardown in
+            # session.run's finally already ran.  Finish quietly so asyncio's
+            # stream machinery does not log the cancellation as a crash.
+            pass
+        finally:
+            self._sessions.discard(task)
+
+    # ------------------------------------------------------------------
+    def note_session(self, kind: str) -> None:
+        self._session_counts[kind] = self._session_counts.get(kind, 0) + 1
+
+    def server_stats(self) -> Dict:
+        return {
+            "address": self.address,
+            "uptime_seconds": time.monotonic() - self._started,
+            "active_connections": len(self._sessions),
+            "draining": self.draining,
+            "requests": dict(self._session_counts),
+            "window": self.window,
+        }
+
+    # ------------------------------------------------------------------
+    async def shutdown(self, drain_timeout: Optional[float] = None) -> None:
+        """Graceful drain: stop accepting, let sessions finish, then cancel.
+
+        In-flight backups either complete within the drain window or are
+        cancelled — cancellation aborts the engine thread, which rolls the
+        repository back before the session task finishes, so this method
+        only returns once every repository is in a clean state.
+        """
+        timeout = self.drain_timeout if drain_timeout is None else drain_timeout
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = [t for t in self._sessions if not t.done()]
+        if tasks and timeout > 0:
+            _done, pending = await asyncio.wait(tasks, timeout=timeout)
+            tasks = list(pending)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.wait(tasks, timeout=max(5.0, timeout))
+
+
+class DaemonThread:
+    """Run a :class:`BackupDaemon` on a background event-loop thread.
+
+    The harness the tests, benchmarks and examples use::
+
+        with DaemonThread(root) as address:
+            RemoteRepository(address, "tenant").backup_tree(...)
+
+    ``kill()`` models an operator SIGTERM with no drain patience: in-flight
+    backups are cancelled and rolled back before it returns.
+    """
+
+    def __init__(self, root: str, **daemon_kwargs) -> None:
+        self.daemon = BackupDaemon(root, **daemon_kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, name="backup-daemon", daemon=True)
+        self._stopped = False
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.daemon.start())
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.close()
+
+    def start(self) -> str:
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise ReproError("backup daemon failed to start within 10s")
+        return self.daemon.address
+
+    @property
+    def address(self) -> str:
+        return self.daemon.address
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Drain gracefully, stop the loop, join the thread."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.daemon.shutdown(drain_timeout), self._loop
+        )
+        future.result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    def kill(self) -> None:
+        """Shut down with zero drain patience (in-flight work rolls back)."""
+        self.stop(drain_timeout=0)
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,169 @@
+"""Multi-tenant repository registry + the per-repo concurrency discipline.
+
+One daemon hosts many named repositories under a single root directory::
+
+    <root>/<repo-name>/containers/…
+    <root>/<repo-name>/recipes/…
+    <root>/<repo-name>/manifests/…
+    <root>/<repo-name>/checkpoint.json
+
+Each repository carries an async :class:`ReadWriteLock`: ingest and
+deletion take the *write* side (serialised — HiDeStore's double cache
+deduplicates a version against its predecessor, so concurrent writers to
+one repo make no semantic sense), while restores and stats take the *read*
+side and run concurrently — with each other and with everything happening
+on other repositories.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import threading
+from contextlib import asynccontextmanager
+from typing import Dict, List, Optional
+
+from ..errors import RemoteError
+from ..repository import LocalRepository
+
+#: Tenant names: filesystem-safe, no traversal, no hidden dirs.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class ReadWriteLock:
+    """Writer-exclusive, reader-shared asyncio lock.
+
+    Writers serialise against each other and against all readers; readers
+    only wait while a writer holds (or is acquiring) the lock.  The waiter
+    count feeds the ``STATS`` frame's queue-depth gauge.
+    """
+
+    def __init__(self) -> None:
+        self._gate = asyncio.Lock()
+        self._readers = 0
+        self._no_readers = asyncio.Event()
+        self._no_readers.set()
+        self.write_waiters = 0
+
+    @asynccontextmanager
+    async def read_locked(self):
+        async with self._gate:  # blocks while a writer is active
+            self._readers += 1
+            self._no_readers.clear()
+        try:
+            yield
+        finally:
+            self._readers -= 1
+            if self._readers == 0:
+                self._no_readers.set()
+
+    @asynccontextmanager
+    async def write_locked(self):
+        self.write_waiters += 1  # gauges queued + active writers
+        try:
+            async with self._gate:
+                await self._no_readers.wait()
+                yield
+        finally:
+            self.write_waiters -= 1
+
+
+class RepoHandle:
+    """One hosted repository: engine front end, lock, service counters."""
+
+    def __init__(self, name: str, root: str, history_depth: int, compress: bool) -> None:
+        self.name = name
+        self.repository = LocalRepository(root, history_depth=history_depth, compress=compress)
+        self.lock = ReadWriteLock()
+        self.active_ops = 0
+        self.counters: Dict[str, int] = {
+            "backups": 0,
+            "backups_failed": 0,
+            "bytes_ingested": 0,
+            "chunks_ingested": 0,
+            "restores": 0,
+            "bytes_restored": 0,
+            "deletes": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def note_backup(self, report: Dict) -> None:
+        self.counters["backups"] += 1
+        self.counters["bytes_ingested"] += int(report.get("logical_bytes", 0))
+        self.counters["chunks_ingested"] += int(report.get("total_chunks", 0))
+
+    def note_backup_failed(self) -> None:
+        self.counters["backups_failed"] += 1
+
+    def note_restore(self, nbytes: int) -> None:
+        self.counters["restores"] += 1
+        self.counters["bytes_restored"] += nbytes
+
+    def note_delete(self) -> None:
+        self.counters["deletes"] += 1
+
+    def note_error(self) -> None:
+        self.counters["errors"] += 1
+
+    def stats(self) -> Dict:
+        """The per-repo ``STATS`` document (repository + service counters)."""
+        doc = dict(self.repository.stats())
+        doc["repo"] = self.name
+        doc["counters"] = dict(self.counters)
+        doc["active_sessions"] = self.active_ops
+        doc["write_queue_depth"] = self.lock.write_waiters
+        return doc
+
+
+class RepositoryRegistry:
+    """Maps tenant names to live :class:`RepoHandle` instances."""
+
+    def __init__(self, root: str, history_depth: int = 1, compress: bool = False) -> None:
+        self.root = root
+        self.history_depth = history_depth
+        self.compress = compress
+        os.makedirs(root, exist_ok=True)
+        self._handles: Dict[str, RepoHandle] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def validate_name(self, name: object) -> str:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise RemoteError(
+                f"invalid repository name {name!r}: use 1-64 of [A-Za-z0-9._-], "
+                "not starting with a dot or dash"
+            )
+        return name
+
+    def get(self, name: object, create: bool = False) -> RepoHandle:
+        """The handle for ``name``; ``create=False`` requires it to exist."""
+        name = self.validate_name(name)
+        with self._lock:
+            handle = self._handles.get(name)
+            if handle is not None:
+                return handle
+            repo_root = os.path.join(self.root, name)
+            if not create and not os.path.isdir(repo_root):
+                raise RemoteError(f"unknown repository {name!r}")
+            handle = RepoHandle(name, repo_root, self.history_depth, self.compress)
+            self._handles[name] = handle
+            return handle
+
+    def repo_names(self) -> List[str]:
+        """Every hosted repository: on disk plus opened this session."""
+        names = set(self._handles)
+        if os.path.isdir(self.root):
+            for entry in os.listdir(self.root):
+                if _NAME_RE.match(entry) and os.path.isdir(os.path.join(self.root, entry)):
+                    names.add(entry)
+        return sorted(names)
+
+    def stats(self, name: Optional[str] = None) -> Dict:
+        """One repo's stats, or the all-repos document for ``name=None``."""
+        if name is not None:
+            return self.get(name).stats()
+        return {
+            "repos": {n: self.get(n, create=True).stats() for n in self.repo_names()}
+        }

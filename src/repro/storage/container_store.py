@@ -205,9 +205,24 @@ class FileContainerStore(ContainerStore):
         self.root = root
         self.compress = compress
         os.makedirs(root, exist_ok=True)
+        self._sweep_tmp_files()
         existing = self.container_ids()
         if existing:
             self._next_id = max(existing) + 1
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove orphaned ``*.tmp`` files left behind by a crashed writer.
+
+        Writes go through ``tmp`` + :func:`os.replace`, so a ``.tmp`` file
+        can only exist if a previous process died mid-write; its container
+        was never visible and is safe to discard.
+        """
+        for name in os.listdir(self.root):
+            if name.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(self.root, name))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
 
     def _path(self, container_id: int) -> str:
         return os.path.join(self.root, f"container-{container_id:08d}.hdsc")
@@ -221,9 +236,14 @@ class FileContainerStore(ContainerStore):
         if self.compress:
             blob = _COMPRESSED_MAGIC + zlib.compress(blob, level=1)
         tmp = path + ".tmp"
-        with open(tmp, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
         self.stats.note_container_write(container.used)
 
     def read(self, container_id: int) -> Container:

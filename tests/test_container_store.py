@@ -153,3 +153,101 @@ class TestFileStoreSpecifics:
         fill(c, [1])
         store.write(c)
         assert os.path.exists(os.path.join(root, "container-00000001.hdsc"))
+
+
+class TestTmpHygiene:
+    def test_open_sweeps_orphaned_tmp_files(self, tmp_path):
+        root = str(tmp_path / "c")
+        store = FileContainerStore(root, capacity=10_000)
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        # A crashed writer leaves a half-written temp file behind.
+        orphan = os.path.join(root, "container-00000002.hdsc.tmp")
+        with open(orphan, "wb") as handle:
+            handle.write(b"partial")
+        reopened = FileContainerStore(root, capacity=10_000)
+        assert not os.path.exists(orphan)
+        assert reopened.container_ids() == [1]
+        assert reopened.allocate().container_id == 2
+
+    def test_failed_write_unlinks_tmp(self, tmp_path, monkeypatch):
+        root = str(tmp_path / "c")
+        store = FileContainerStore(root, capacity=10_000)
+        c = store.allocate()
+        fill(c, [1], with_data=True)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            store.write(c)
+        monkeypatch.undo()
+        assert [n for n in os.listdir(root) if n.endswith(".tmp")] == []
+        assert store.container_ids() == []
+        # The failed write must not have billed I/O either.
+        assert store.stats.container_writes == 0
+
+
+class TestCompressedStore:
+    def make(self, tmp_path, **kwargs):
+        return FileContainerStore(str(tmp_path / "c"), capacity=10_000, **kwargs)
+
+    def test_compressed_payload_round_trip(self, tmp_path):
+        store = self.make(tmp_path, compress=True)
+        c = store.allocate()
+        fill(c, range(3), size=64, with_data=True)
+        store.write(c)
+        loaded = store.read(c.container_id)
+        for t in range(3):
+            assert loaded.get_chunk(synthetic_fingerprint(t)).data == bytes([t]) * 64
+        # Repetitive payloads must actually shrink on disk.
+        path = os.path.join(str(tmp_path / "c"), "container-00000001.hdsc")
+        assert os.path.getsize(path) < 3 * 64
+
+    def test_plain_store_reads_compressed_files(self, tmp_path):
+        compressed = self.make(tmp_path, compress=True)
+        c = compressed.allocate()
+        fill(c, range(3), size=64, with_data=True)
+        compressed.write(c)
+        plain = self.make(tmp_path, compress=False)
+        loaded = plain.read(1)
+        assert loaded.get_chunk(synthetic_fingerprint(1)).data == bytes([1]) * 64
+
+    def test_compressed_delete(self, tmp_path):
+        store = self.make(tmp_path, compress=True)
+        c = store.allocate()
+        fill(c, [1], with_data=True)
+        store.write(c)
+        store.delete(1)
+        assert 1 not in store
+        with pytest.raises(UnknownContainerError):
+            store.delete(1)
+
+    def test_compressed_billing_uses_logical_bytes(self, tmp_path):
+        store = self.make(tmp_path, compress=True)
+        c = store.allocate()
+        fill(c, range(4), size=50, with_data=True)
+        before = store.stats.snapshot()
+        store.write(c)
+        delta = store.stats.delta(before)
+        assert delta.container_writes == 1
+        assert delta.bytes_written == 200  # logical, not compressed, bytes
+        before = store.stats.snapshot()
+        store.read(1)
+        delta = store.stats.delta(before)
+        assert delta.container_reads == 1
+        assert delta.bytes_read == 200
+
+    def test_compressed_peek_does_not_bill(self, tmp_path):
+        store = self.make(tmp_path, compress=True)
+        c = store.allocate()
+        fill(c, [1], with_data=True)
+        store.write(c)
+        before = store.stats.snapshot()
+        peeked = store.peek(1)
+        assert peeked.get_chunk(synthetic_fingerprint(1)).data == bytes([1]) * 100
+        delta = store.stats.delta(before)
+        assert delta.container_reads == 0
+        assert delta.bytes_read == 0

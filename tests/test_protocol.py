@@ -1,0 +1,165 @@
+"""Tests for the wire codec (:mod:`repro.client.protocol`) — sans network."""
+
+import struct
+
+import pytest
+
+from repro.client.protocol import (
+    DATA_BLOCK,
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameType,
+    check_hello,
+    decode_header,
+    decode_json,
+    encode_data,
+    encode_error,
+    encode_frame,
+    encode_json,
+    hello_frame,
+    iter_data_blocks,
+    raise_remote_error,
+)
+from repro.errors import (
+    DeletionError,
+    ProtocolError,
+    RemoteError,
+    ServerDrainingError,
+    TimeoutExceededError,
+    VersionNotFoundError,
+    error_by_name,
+)
+
+
+class TestFraming:
+    def test_round_trip_single_frame(self):
+        wire = encode_json(FrameType.STATS, {"repo": "a"})
+        frames = FrameDecoder().feed(wire)
+        assert len(frames) == 1
+        ftype, payload = frames[0]
+        assert ftype == FrameType.STATS
+        assert decode_json(payload) == {"repo": "a"}
+
+    def test_round_trip_every_frame_type(self):
+        decoder = FrameDecoder()
+        wire = b"".join(encode_frame(ft, b"x") for ft in FrameType)
+        frames = decoder.feed(wire)
+        assert [ft for ft, _ in frames] == list(FrameType)
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_feed(self):
+        wire = encode_data(b"payload-bytes") + encode_frame(FrameType.BACKUP_END)
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(wire)):
+            frames.extend(decoder.feed(wire[i : i + 1]))
+        assert frames == [
+            (FrameType.CHUNK_DATA, b"payload-bytes"),
+            (FrameType.BACKUP_END, b""),
+        ]
+
+    def test_partial_frame_stays_buffered(self):
+        wire = encode_data(b"abcdef")
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:-2]) == []
+        assert decoder.pending_bytes == len(wire) - 2
+        assert decoder.feed(wire[-2:]) == [(FrameType.CHUNK_DATA, b"abcdef")]
+
+    def test_unknown_frame_type_rejected(self):
+        wire = struct.Struct("<IB").pack(0, 200)
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(wire)
+        with pytest.raises(ProtocolError):
+            decode_header(wire[:HEADER_SIZE])
+
+    def test_oversized_payload_rejected(self):
+        wire = struct.Struct("<IB").pack(MAX_PAYLOAD + 1, int(FrameType.CHUNK_DATA))
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(wire)
+        with pytest.raises(ProtocolError):
+            decode_header(wire[:HEADER_SIZE])
+        with pytest.raises(ProtocolError):
+            encode_frame(FrameType.CHUNK_DATA, b"\0" * (MAX_PAYLOAD + 1))
+
+    def test_malformed_control_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_json(b"\xff\xfe not json")
+        with pytest.raises(ProtocolError):
+            decode_json(b"[1, 2, 3]")  # JSON but not an object
+
+
+class TestHandshake:
+    def test_hello_round_trip(self):
+        (ftype, payload), = FrameDecoder().feed(hello_frame())
+        assert ftype == FrameType.HELLO
+        obj = check_hello(payload)
+        assert obj == {"magic": MAGIC, "version": PROTOCOL_VERSION}
+
+    def test_wrong_magic_rejected(self):
+        wire = encode_json(FrameType.HELLO, {"magic": "HTTP", "version": 1})
+        (_, payload), = FrameDecoder().feed(wire)
+        with pytest.raises(ProtocolError):
+            check_hello(payload)
+
+    def test_version_mismatch_rejected(self):
+        wire = encode_json(
+            FrameType.HELLO, {"magic": MAGIC, "version": PROTOCOL_VERSION + 1}
+        )
+        (_, payload), = FrameDecoder().feed(wire)
+        with pytest.raises(ProtocolError) as excinfo:
+            check_hello(payload)
+        assert "version mismatch" in str(excinfo.value)
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            VersionNotFoundError("no version 9"),
+            DeletionError("not demoted yet"),
+            ServerDrainingError("draining"),
+            TimeoutExceededError("too slow"),
+            ProtocolError("bad frame"),
+        ],
+    )
+    def test_repro_errors_round_trip_by_class(self, exc):
+        (_, payload), = FrameDecoder().feed(encode_error(exc))
+        with pytest.raises(type(exc)) as excinfo:
+            raise_remote_error(payload)
+        assert str(excinfo.value) == str(exc)
+
+    def test_foreign_exception_degrades_to_remote_error(self):
+        (_, payload), = FrameDecoder().feed(encode_error(ValueError("internal")))
+        with pytest.raises(RemoteError) as excinfo:
+            raise_remote_error(payload)
+        assert "internal" in str(excinfo.value)
+
+    def test_unknown_class_name_degrades_to_remote_error(self):
+        assert error_by_name("NoSuchClass") is RemoteError
+        # Wire names must never resolve to non-error types in the module.
+        assert error_by_name("os") is RemoteError
+
+    def test_error_by_name_resolves_taxonomy(self):
+        assert error_by_name("VersionNotFoundError") is VersionNotFoundError
+        assert error_by_name("ProtocolError") is ProtocolError
+
+
+class TestDataBlocks:
+    def test_small_blocks_pass_through(self):
+        assert list(iter_data_blocks(iter([b"a", b"bb"]))) == [b"a", b"bb"]
+
+    def test_empty_blocks_dropped(self):
+        assert list(iter_data_blocks(iter([b"", b"x", b""]))) == [b"x"]
+
+    def test_oversized_blocks_resliced(self):
+        big = bytes(range(256)) * (DATA_BLOCK // 128)  # 2x DATA_BLOCK
+        out = list(iter_data_blocks(iter([big])))
+        assert [len(b) for b in out] == [DATA_BLOCK, DATA_BLOCK]
+        assert b"".join(out) == big
+
+    def test_custom_block_size(self):
+        out = list(iter_data_blocks(iter([b"abcdefgh"]), block_size=3))
+        assert out == [b"abc", b"def", b"gh"]
