@@ -52,11 +52,33 @@ from .units import format_bytes
 __all__ = ["build_parser", "main", "open_repository"]
 
 
+#: Backup flags that configure the local engine; the server fixes these at
+#: ``hidestore serve`` time, so combining them with --remote is an error
+#: rather than a silent no-op.
+_LOCAL_ONLY_DEFAULTS = {
+    "history_depth": 1,
+    "compress": False,
+    "workers": 1,
+    "pipeline": False,
+}
+
+
 def _open_target(args: argparse.Namespace, **local_kwargs):
     """The repository front end a command talks to: local dir or daemon."""
     if getattr(args, "remote", None):
         from .client import RemoteRepository
 
+        clashing = [
+            "--" + key.replace("_", "-")
+            for key, default in _LOCAL_ONLY_DEFAULTS.items()
+            if local_kwargs.get(key, default) != default
+        ]
+        if clashing:
+            raise ReproError(
+                f"{', '.join(clashing)} configure the local engine and have "
+                "no effect over --remote; the server sets them via "
+                "'hidestore serve'"
+            )
         return RemoteRepository(args.remote, args.repo)
     return LocalRepository(args.repo, **local_kwargs)
 

@@ -83,6 +83,28 @@ def open_repository(repo: str, history_depth: int = 1, compress: bool = False) -
     return store
 
 
+def validate_rel_name(rel: str) -> str:
+    """Vet one relative file name from a plan or manifest; returns it.
+
+    Rel names arrive from untrusted places — ``BACKUP_BEGIN`` frames over
+    the network, manifests on disk — and are both joined under restore
+    target directories and embedded in the tab-separated manifest
+    encoding.  Reject anything that could escape the join (absolute
+    paths, drive prefixes, ``..`` components) or corrupt the manifest
+    (control characters, including tab and newline).
+    """
+    if not isinstance(rel, str) or not rel:
+        raise ReproError("empty relative file name in file plan")
+    if any(ord(ch) < 32 or ord(ch) == 127 for ch in rel):
+        raise ReproError(f"control character in file name {rel!r}")
+    if rel[0] in "/\\" or os.path.isabs(rel) or (len(rel) >= 2 and rel[1] == ":"):
+        raise ReproError(f"absolute file name in file plan: {rel!r}")
+    for part in rel.replace("\\", "/").split("/"):
+        if part in ("", ".", ".."):
+            raise ReproError(f"unsafe path component in file name {rel!r}")
+    return rel
+
+
 def read_tree(source: str) -> List[Tuple[str, str]]:
     """All files under ``source`` as (relative name, absolute path), sorted."""
     entries = []
@@ -114,11 +136,16 @@ def materialize(plan: FilePlan, data: Iterable[bytes], target: str) -> int:
     order); ``data`` yields the reassembled stream in arbitrary block
     sizes.  Returns the number of files written.
     """
-    os.makedirs(target, exist_ok=True)
+    root = os.path.abspath(target)
+    os.makedirs(root, exist_ok=True)
     blocks = iter(data)
     buffer = bytearray()
     restored = 0
     for rel, size in plan:
+        validate_rel_name(rel)
+        out_path = os.path.join(root, rel)
+        if os.path.commonpath([root, os.path.abspath(out_path)]) != root:
+            raise RestoreError(f"restore path escapes target directory: {rel!r}")
         while len(buffer) < size:
             try:
                 buffer.extend(next(blocks))
@@ -127,8 +154,7 @@ def materialize(plan: FilePlan, data: Iterable[bytes], target: str) -> int:
                     f"restore stream ended early: {rel} needs {size} bytes, "
                     f"got {len(buffer)}"
                 ) from None
-        out_path = os.path.join(target, rel)
-        os.makedirs(os.path.dirname(out_path) or target, exist_ok=True)
+        os.makedirs(os.path.dirname(out_path) or root, exist_ok=True)
         with open(out_path, "wb") as handle:
             handle.write(bytes(buffer[:size]))
         del buffer[:size]
@@ -197,7 +223,9 @@ class LocalRepository:
     # ------------------------------------------------------------------
     def backup_tree(self, entries: List[Tuple[str, str]], tag: str = "") -> Dict:
         """Back up files from disk ((rel, path) rows, see :func:`read_tree`)."""
-        plan: FilePlan = [(rel, os.path.getsize(path)) for rel, path in entries]
+        plan: FilePlan = [
+            (validate_rel_name(rel), os.path.getsize(path)) for rel, path in entries
+        ]
         if self.workers > 1 or self.pipeline:
             return self._backup_pipelined(entries, plan, tag)
         return self.backup_blocks(stream_blocks(entries), plan, tag)
@@ -214,6 +242,7 @@ class LocalRepository:
         from .chunking.fingerprint import Fingerprinter
         from .engine.pipeline import LazyBackupStream
 
+        plan = [(validate_rel_name(rel), int(size)) for rel, size in plan]
         store = self._open_for_backup()
         chunker = FastCDCChunker()
         fingerprinter = Fingerprinter()

@@ -41,7 +41,7 @@ from ..client.protocol import (
     encode_json,
 )
 from ..errors import ProtocolError, ReproError, RemoteError, ServerDrainingError
-from ..repository import FilePlan
+from ..repository import FilePlan, validate_rel_name
 from .registry import RepoHandle, RepositoryRegistry
 
 #: Sentinel closing a backup's block queue (client sent BACKUP_END).
@@ -161,7 +161,12 @@ class _Session:
         if self.daemon.draining:
             raise ServerDrainingError("server is draining; retry the backup elsewhere")
         handle = self.daemon.registry.get(obj.get("repo"), create=True)
-        plan: FilePlan = [(str(rel), int(size)) for rel, size in obj.get("files", [])]
+        # Vet names before any lock or stream: a traversal attempt
+        # ('../x', absolute, control chars) dies here with a typed ERROR.
+        plan: FilePlan = [
+            (validate_rel_name(str(rel)), int(size))
+            for rel, size in obj.get("files", [])
+        ]
         tag = str(obj.get("tag", "") or "")
         async with handle.lock.write_locked():
             handle.active_ops += 1
@@ -203,9 +208,27 @@ class _Session:
         )
 
         received = 0
+        read_task: Optional[asyncio.Task] = None
         try:
             while True:
-                ftype, payload = await read_frame(self.reader)
+                if read_task is None:
+                    read_task = asyncio.ensure_future(read_frame(self.reader))
+                # Wait on the socket AND the engine: if the engine fails
+                # while the client is stalled waiting for credit, the error
+                # must reach it now, not after another frame arrives.
+                await asyncio.wait(
+                    {read_task, backup_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read_task.done():
+                    # Engine finished first.  Success is impossible before
+                    # BACKUP_END (the stream has no EOF yet), so surface
+                    # the failure immediately.
+                    exc = backup_task.exception()
+                    raise exc if exc is not None else ProtocolError(
+                        "engine finished before BACKUP_END"
+                    )
+                ftype, payload = read_task.result()
+                read_task = None
                 if ftype == FrameType.CHUNK_DATA:
                     received += 1
                     if received - consumed["total"] > window * 2:
@@ -216,8 +239,6 @@ class _Session:
                     break
                 else:
                     raise ProtocolError(f"unexpected {ftype.name} frame mid-backup")
-                if backup_task.done() and backup_task.exception() is not None:
-                    break  # engine already failed: stop accepting data
             report = await backup_task
         except BaseException as first:
             # Abort the engine thread (triggers repository rollback), wait
@@ -236,6 +257,13 @@ class _Session:
                 await self._send_error(first)
                 raise _EndSession() from first
             raise
+        finally:
+            if read_task is not None:
+                read_task.cancel()
+                try:
+                    await read_task
+                except BaseException:
+                    pass
 
         handle.note_backup(report)
         self.daemon.note_session("backup")
@@ -289,8 +317,16 @@ class _Session:
     async def _handle_stats(self, obj: dict) -> None:
         name = obj.get("repo")
         if name is None:
-            doc = await asyncio.to_thread(self.daemon.registry.stats)
-            doc["server"] = self.daemon.server_stats()
+            # Whole-server stats: sample each repo under its read lock, as
+            # the single-repo path does, so an active backup or rollback on
+            # one tenant is never observed mid-mutation.
+            names = await asyncio.to_thread(self.daemon.registry.repo_names)
+            repos: Dict[str, Dict] = {}
+            for repo_name in names:
+                handle = self.daemon.registry.get(repo_name, create=True)
+                async with handle.lock.read_locked():
+                    repos[repo_name] = await asyncio.to_thread(handle.stats)
+            doc: Dict = {"repos": repos, "server": self.daemon.server_stats()}
         else:
             handle = self.daemon.registry.get(name)
             async with handle.lock.read_locked():

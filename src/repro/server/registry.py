@@ -22,7 +22,7 @@ import os
 import re
 import threading
 from contextlib import asynccontextmanager
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import RemoteError
 from ..repository import LocalRepository
@@ -160,10 +160,12 @@ class RepositoryRegistry:
                     names.add(entry)
         return sorted(names)
 
-    def stats(self, name: Optional[str] = None) -> Dict:
-        """One repo's stats, or the all-repos document for ``name=None``."""
-        if name is not None:
-            return self.get(name).stats()
-        return {
-            "repos": {n: self.get(n, create=True).stats() for n in self.repo_names()}
-        }
+    def stats(self, name: str) -> Dict:
+        """One repo's stats document.
+
+        There is deliberately no all-repos aggregate here: sampling a repo
+        while a backup or rollback mutates it violates the serialization
+        contract, so the daemon iterates :meth:`repo_names` itself and
+        takes each handle's read lock before calling ``handle.stats()``.
+        """
+        return self.get(name).stats()

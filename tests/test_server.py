@@ -10,6 +10,7 @@ concurrency, writer-lock serialisation and crash rollback.
 import os
 import socket
 import threading
+import time
 
 import pytest
 
@@ -21,6 +22,8 @@ from repro.errors import (
     RemoteError,
     ReproError,
     ServerDrainingError,
+    StorageError,
+    TimeoutExceededError,
     VersionNotFoundError,
 )
 from repro.repository import LocalRepository, materialize, read_tree
@@ -232,6 +235,54 @@ class TestConcurrency:
 
 
 # ----------------------------------------------------------------------
+# Relative-name safety (path traversal + manifest corruption)
+# ----------------------------------------------------------------------
+class TestRelNameSafety:
+    """Plans from the wire (or tampered manifests) must not escape the
+    restore target or corrupt the tab-separated manifest encoding."""
+
+    EVIL = [
+        "../../escape.bin",
+        "/etc/passwd",
+        "a/../../b",
+        "evil\nname",
+        "tab\tname",
+        "c\\..\\up",
+        "",
+    ]
+
+    def test_materialize_rejects_traversal(self, tmp_path):
+        target = str(tmp_path / "nest" / "out")
+        for rel in self.EVIL:
+            with pytest.raises(ReproError):
+                materialize([(rel, 4)], iter([b"data"]), target)
+        written = [
+            os.path.join(root, name)
+            for root, _dirs, names in os.walk(str(tmp_path))
+            for name in names
+        ]
+        assert written == []  # nothing landed anywhere, in or out of target
+
+    def test_local_backup_rejects_unsafe_plan(self, tmp_path):
+        repo = LocalRepository(str(tmp_path / "repo"))
+        for rel in self.EVIL:
+            with pytest.raises(ReproError):
+                repo.backup_blocks(iter([b"x" * 4]), [(rel, 4)])
+        assert repo.versions() == []
+
+    def test_daemon_rejects_unsafe_plan_at_ingest(self, daemon, tmp_path):
+        _, address = daemon
+        entries = make_tree(str(tmp_path / "src"), {"ok.bin": b"k" * 100})
+        with RemoteRepository(address, "alpha") as repo:
+            repo.backup_tree(entries, tag="good")
+            for rel in self.EVIL:
+                with pytest.raises(ReproError):
+                    repo.backup_blocks(iter([b"payload"]), [(rel, 7)], tag="evil")
+            # None of the rejected attempts became a version.
+            assert [r["version_id"] for r in repo.versions()] == [1]
+
+
+# ----------------------------------------------------------------------
 # Failure semantics
 # ----------------------------------------------------------------------
 class TestFailureSemantics:
@@ -336,6 +387,26 @@ class TestFailureSemantics:
             assert tree_bytes(str(tmp_path / "out")) == files
         finally:
             thread2.stop(drain_timeout=5)
+
+    def test_engine_failure_reaches_stalled_client(self, daemon, tmp_path):
+        """An engine failure must surface as a typed ERROR frame right away,
+        even while the client is blocked waiting for credit — not swallowed
+        until the client times out."""
+        thread, address = daemon
+        handle = thread.daemon.registry.get("alpha", create=True)
+
+        def exploding(blocks, plan, tag=""):
+            raise StorageError("simulated disk full")
+
+        handle.repository.backup_blocks = exploding
+        blocks = (b"x" * 4096 for _ in range(5000))
+        plan = [("file.bin", 4096 * 5000)]
+        start = time.monotonic()
+        with RemoteRepository(address, "alpha", timeout=60) as repo:
+            with pytest.raises(ReproError) as info:
+                repo.backup_blocks(blocks, plan, tag="doomed")
+        assert not isinstance(info.value, TimeoutExceededError)
+        assert time.monotonic() - start < 20  # old behavior: full 60s stall
 
     def test_draining_server_refuses_new_backups(self, daemon, tmp_path):
         thread, address = daemon
@@ -450,3 +521,22 @@ class TestRemoteCLI:
         # Unknown version + unknown tenant surface as CLI errors, not crashes.
         assert main(["restore", "cli-tenant", "9", out, "--remote", address]) == 1
         assert main(["versions", "ghost", "--remote", address]) == 1
+
+    def test_local_only_flags_rejected_with_remote(self, daemon, tmp_path, capsys):
+        """Engine knobs (--workers/--pipeline/--compress/--history-depth)
+        error out with --remote instead of being silently ignored."""
+        from repro.cli import main
+
+        _, address = daemon
+        make_tree(str(tmp_path / "src"), {"f.bin": b"x" * 10})
+        src = str(tmp_path / "src")
+        assert main(["backup", "t", src, "--workers", "4",
+                     "--remote", address]) == 1
+        assert "--workers" in capsys.readouterr().err
+        assert main(["backup", "t", src, "--pipeline", "--compress",
+                     "--remote", address]) == 1
+        err = capsys.readouterr().err
+        assert "--pipeline" in err and "--compress" in err
+        assert main(["backup", "t", src, "--history-depth", "3",
+                     "--remote", address]) == 1
+        assert "--history-depth" in capsys.readouterr().err
