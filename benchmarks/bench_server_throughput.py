@@ -21,6 +21,7 @@ import time
 
 from common import emit, table
 from repro.client import RemoteRepository
+from repro.observability import JsonEventLogger, MetricsRegistry
 from repro.server import DaemonThread
 from repro.units import MiB
 
@@ -125,3 +126,76 @@ def test_server_ingest_scaling(benchmark, tmp_path):
     # Concurrency must help, not serialise: N tenants together must beat a
     # single client's throughput (conservative floor — CI boxes vary).
     assert mbps["many"] > mbps["one"]
+
+
+# ----------------------------------------------------------------------
+# Observability overhead: metrics + JSON event log vs both disabled
+# ----------------------------------------------------------------------
+#: Best-of-N runs per configuration (min filters scheduler noise).
+OVERHEAD_ROUNDS = 3
+
+#: Ceiling on the acceptable slowdown from metrics + event logging.
+OVERHEAD_BUDGET = 0.05
+
+
+def _timed_solo_ingest(root, streams, server_kwargs, client_kwargs):
+    """Wall-clock seconds to push ``streams`` through one tenant."""
+    with DaemonThread(root, **server_kwargs) as address:
+        started = time.perf_counter()
+        with RemoteRepository(address, "solo", **client_kwargs) as repo:
+            for i, payload in enumerate(streams):
+                plan = [(f"stream-{i}.bin", len(payload))]
+                repo.backup_blocks(iter([payload]), plan, tag=f"v{i + 1}")
+        return time.perf_counter() - started
+
+
+def test_observability_overhead(benchmark, tmp_path):
+    """Per-operation metrics + structured event logging must cost ~nothing
+    next to chunking/hashing/container I/O: the instrumented run may be at
+    most OVERHEAD_BUDGET slower than best-of-N with everything off."""
+    streams = _versions_for(seed=99)
+    elapsed = {"on": [], "off": []}
+
+    def run_all():
+        # Interleave configurations so drift (thermal, page cache) hits
+        # both equally; keep the best run of each.
+        for round_no in range(OVERHEAD_ROUNDS):
+            with JsonEventLogger(
+                str(tmp_path / f"events-{round_no}.jsonl"), source="daemon"
+            ) as log:
+                elapsed["on"].append(
+                    _timed_solo_ingest(
+                        str(tmp_path / f"on-{round_no}"),
+                        streams,
+                        {"metrics": MetricsRegistry(), "event_log": log},
+                        {"metrics": MetricsRegistry()},
+                    )
+                )
+            elapsed["off"].append(
+                _timed_solo_ingest(
+                    str(tmp_path / f"off-{round_no}"),
+                    streams,
+                    {"metrics": MetricsRegistry(enabled=False)},
+                    {"metrics": MetricsRegistry(enabled=False)},
+                )
+            )
+        return len(elapsed["on"])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    best_on, best_off = min(elapsed["on"]), min(elapsed["off"])
+    overhead = best_on / best_off - 1.0
+    nbytes = sum(len(s) for s in streams)
+    table(
+        ["configuration", "best ingest", "throughput"],
+        [
+            ["metrics + event log", f"{best_on * 1000:.0f} ms",
+             f"{nbytes / best_on / MiB:.1f} MB/s"],
+            ["observability off", f"{best_off * 1000:.0f} ms",
+             f"{nbytes / best_off / MiB:.1f} MB/s"],
+        ],
+        title=f"Observability overhead — {VERSIONS} versions x "
+        f"{VERSION_BYTES / MiB:.0f} MB, best of {OVERHEAD_ROUNDS}",
+    )
+    emit(f"observability overhead: {overhead:+.1%} (budget {OVERHEAD_BUDGET:.0%})")
+    assert overhead <= OVERHEAD_BUDGET

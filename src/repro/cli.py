@@ -147,6 +147,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
               f"{counters['restores']} restores, "
               f"{format_bytes(counters['bytes_ingested'])} ingested, "
               f"{format_bytes(counters['bytes_restored'])} restored")
+    if args.metrics:
+        if getattr(args, "remote", None):
+            metrics = stats.get("metrics", {})
+            if not metrics:
+                print("error: server does not report metrics", file=sys.stderr)
+                return 1
+        else:
+            from .observability import get_registry
+
+            metrics = get_registry().snapshot()
+            if not any(metrics.values()):
+                # Local metrics live in the recording process; a fresh
+                # `stats` process has nothing to show.  Point at the
+                # places that do.
+                print()
+                print("no local metrics recorded in this process; run an "
+                      "operation first or query a daemon with --remote")
+        _print_metrics(metrics)
     if args.detail:
         if getattr(args, "remote", None):
             print("error: --detail is not available over --remote", file=sys.stderr)
@@ -166,6 +184,30 @@ def cmd_stats(args: argparse.Namespace) -> int:
                   f"{frag.containers_referenced:>11d} {frag.cfl:>6.2f} "
                   f"{frag.best_speed_factor:>8.3f}")
     return 0
+
+
+def _print_metrics(metrics: dict) -> None:
+    """Render a metrics snapshot: latency table, then counters/gauges."""
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        print()
+        print(f"{'operation latency':<34s} {'count':>7s} {'p50 ms':>9s} "
+              f"{'p95 ms':>9s} {'p99 ms':>9s}")
+        for name in sorted(histograms):
+            snap = histograms[name]
+            print(f"{name:<34s} {snap['count']:>7d} "
+                  f"{snap['p50'] * 1000:>9.2f} {snap['p95'] * 1000:>9.2f} "
+                  f"{snap['p99'] * 1000:>9.2f}")
+    counters = metrics.get("counters", {})
+    if counters:
+        print()
+        for name in sorted(counters):
+            print(f"{name:<34s} {counters[name]}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        print()
+        for name in sorted(gauges):
+            print(f"{name:<34s} {gauges[name]}")
 
 
 def cmd_delete_oldest(args: argparse.Namespace) -> int:
@@ -199,9 +241,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .client.remote import parse_address
+    from .observability import open_event_log
     from .server import BackupDaemon
 
     host, port = parse_address(args.address)
+    event_log = open_event_log(args.log_json, source="daemon")
     daemon = BackupDaemon(
         args.root,
         host=host,
@@ -210,6 +254,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         history_depth=args.history_depth,
         compress=args.compress,
         drain_timeout=args.drain_timeout,
+        event_log=event_log,
+        metrics_interval=args.metrics_interval,
     )
 
     async def run() -> None:
@@ -234,7 +280,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             pass
         print("daemon stopped", flush=True)
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        event_log.close()
     return 0
 
 
@@ -356,6 +405,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("repo")
     p.add_argument("--detail", action="store_true",
                    help="per-version fragmentation table (local only)")
+    p.add_argument("--metrics", action="store_true",
+                   help="operation latency histograms (p50/p95/p99) and "
+                        "counters; remote: the server's metrics snapshot")
     _add_remote_flag(p)
     p.set_defaults(func=cmd_stats)
 
@@ -380,6 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="zlib-compress container files of new repositories")
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds in-flight sessions get to finish on shutdown")
+    p.add_argument("--log-json", metavar="PATH|-", default=None,
+                   help="write structured JSON-lines events (sessions, "
+                        "per-request begin/end with trace IDs) to a file, "
+                        "or '-' for stdout")
+    p.add_argument("--metrics-interval", type=float, default=0.0,
+                   help="seconds between periodic metrics_report events in "
+                        "the JSON log (0 disables)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("trace-generate", help="write a preset workload as a trace file")

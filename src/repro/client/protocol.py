@@ -152,6 +152,11 @@ class FrameDecoder:
     def __init__(self) -> None:
         self._buffer = bytearray()
 
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
     def feed(self, data: bytes) -> List[Tuple[FrameType, bytes]]:
         """Add received bytes; return every frame completed by them."""
         self._buffer.extend(data)

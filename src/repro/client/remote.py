@@ -27,6 +27,7 @@ import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import ProtocolError, RemoteError, ReproError, TimeoutExceededError
+from ..observability import EventLogger, MetricsRegistry, get_registry, new_trace_id
 from ..repository import FilePlan, stream_blocks
 from .protocol import (
     FrameDecoder,
@@ -49,20 +50,32 @@ _MAX_BACKOFF = 2.0
 _RECV_SIZE = 256 * 1024
 
 
+def _valid_port(value: object, address: Address) -> int:
+    try:
+        port = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ProtocolError(f"invalid server address {address!r}: bad port {value!r}") from None
+    if not 0 <= port <= 65535:
+        raise ProtocolError(f"invalid server address {address!r}: port {port} out of range")
+    return port
+
+
 def parse_address(address: Address) -> Tuple[str, int]:
     """Accept ``(host, port)`` or ``"host:port"`` (IPv6 in brackets)."""
     if isinstance(address, tuple):
-        return address
+        if len(address) != 2 or not address[0]:
+            raise ProtocolError(f"invalid server address {address!r} (need (host, port))")
+        return str(address[0]), _valid_port(address[1], address)
     text = address.strip()
     if text.startswith("["):  # [::1]:7777
         host, _, rest = text[1:].partition("]")
         if not rest.startswith(":"):
             raise ProtocolError(f"invalid server address {address!r}")
-        return host, int(rest[1:])
+        return host, _valid_port(rest[1:], address)
     host, sep, port = text.rpartition(":")
     if not sep or not host:
         raise ProtocolError(f"invalid server address {address!r} (need HOST:PORT)")
-    return host, int(port)
+    return host, _valid_port(port, address)
 
 
 class Connection:
@@ -78,6 +91,8 @@ class Connection:
         self._decoder = FrameDecoder()
         self._frames: List[Tuple[FrameType, bytes]] = []
         self.broken = False
+        self.trace = ""
+        self.seq = 0
         try:
             self.send(hello_frame())
             ftype, payload = self.recv_frame()
@@ -85,10 +100,21 @@ class Connection:
                 raise_remote_error(payload)
             if ftype != FrameType.HELLO_OK:
                 raise ProtocolError(f"expected HELLO_OK, got {ftype.name}")
-            check_hello(payload)
+            hello = check_hello(payload)
+            # The server's session trace ID: both sides derive identical
+            # "<session>.<seq>" request IDs from it for log correlation.
+            trace = hello.get("trace")
+            self.trace = trace if isinstance(trace, str) else ""
         except BaseException:
             self.close()
             raise
+
+    def next_trace(self) -> str:
+        """The per-request trace ID for the next request on this connection."""
+        self.seq += 1
+        if self.trace:
+            return f"{self.trace}.{self.seq}"
+        return new_trace_id()  # pre-observability server: still tag our logs
 
     # ------------------------------------------------------------------
     def send(self, data: bytes) -> None:
@@ -140,6 +166,35 @@ class Connection:
                 return payload
         return None
 
+    def has_buffered(self) -> bool:
+        """True if undrained frames/bytes remain from the last exchange."""
+        return bool(self._frames) or self._decoder.pending > 0
+
+    def sweep(self) -> None:
+        """Pull any bytes already sitting in the kernel buffer, without blocking.
+
+        Makes :meth:`has_buffered` authoritative before pool reuse: a stale
+        frame the server wrote after our last read (e.g. a late CREDIT)
+        becomes visible instead of poisoning the next request.
+        """
+        try:
+            self._sock.settimeout(0.0)
+            while True:
+                data = self._sock.recv(_RECV_SIZE)
+                if not data:
+                    self.broken = True
+                    return
+                self._frames.extend(self._decoder.feed(data))
+        except (BlockingIOError, socket.timeout):
+            pass
+        except (OSError, ProtocolError):
+            self.broken = True
+        finally:
+            try:
+                self._sock.settimeout(self.timeout)
+            except OSError:
+                self.broken = True
+
     def close(self) -> None:
         self.broken = True
         try:
@@ -151,22 +206,54 @@ class Connection:
 class ConnectionPool:
     """A small cache of idle handshaken connections to one daemon."""
 
-    def __init__(self, address: Tuple[str, int], timeout: float, size: int = 2) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float,
+        size: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLogger] = None,
+    ) -> None:
         self.address = address
         self.timeout = timeout
         self.size = size
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.events = events if events is not None else EventLogger()
         self._idle: List[Connection] = []
         self._lock = threading.Lock()
 
     def acquire(self) -> Connection:
-        with self._lock:
-            if self._idle:
-                return self._idle.pop()
-        return Connection(self.address, self.timeout)
+        while True:
+            with self._lock:
+                if not self._idle:
+                    break
+                conn = self._idle.pop()
+            # Drain-verify before reuse: a connection carrying leftover
+            # frames (stale CREDIT after BACKUP_DONE) would answer the next
+            # request with the wrong frame.  Discard, never repair.
+            conn.sweep()
+            if conn.broken or conn.has_buffered():
+                self.metrics.inc("client.pooled_discards_total")
+                conn.close()
+                continue
+            return conn
+        started = time.perf_counter()
+        conn = Connection(self.address, self.timeout)
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("client.connect_seconds", elapsed)
+        self.events.log(
+            "client_connect",
+            trace=conn.trace or None,
+            address=f"{self.address[0]}:{self.address[1]}",
+            duration_ms=round(elapsed * 1000, 3),
+        )
+        return conn
 
     def release(self, conn: Connection) -> None:
-        """Return a connection; broken or surplus connections are closed."""
-        if conn.broken:
+        """Return a connection; broken, dirty or surplus connections are closed."""
+        if conn.broken or conn.has_buffered():
+            if conn.has_buffered() and not conn.broken:
+                self.metrics.inc("client.pooled_discards_total")
             conn.close()
             return
         with self._lock:
@@ -192,6 +279,10 @@ class RemoteRepository:
         retries: attempts for idempotent requests (1 = no retry).
         backoff: initial exponential-backoff delay between retries.
         pool_size: idle connections kept for reuse.
+        event_log: structured event sink for client-side spans (connect,
+            credit stalls, retries); defaults to the no-op logger.
+        metrics: registry for client-side latency histograms (defaults to
+            the process registry).
     """
 
     def __init__(
@@ -202,11 +293,18 @@ class RemoteRepository:
         retries: int = 3,
         backoff: float = 0.1,
         pool_size: int = 2,
+        event_log: Optional[EventLogger] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.repo = repo
         self.retries = max(1, retries)
         self.backoff = backoff
-        self.pool = ConnectionPool(parse_address(address), timeout, pool_size)
+        self.events = event_log if event_log is not None else EventLogger()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.pool = ConnectionPool(
+            parse_address(address), timeout, pool_size,
+            metrics=self.metrics, events=self.events,
+        )
 
     def close(self) -> None:
         self.pool.close()
@@ -225,7 +323,15 @@ class RemoteRepository:
         last: Optional[BaseException] = None
         for attempt in range(self.retries):
             if attempt:
-                time.sleep(min(self.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF))
+                sleep = min(self.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF)
+                self.metrics.inc("client.retries_total")
+                self.events.log(
+                    "client_retry",
+                    attempt=attempt + 1,
+                    sleep_s=round(sleep, 3),
+                    error=type(last).__name__ if last is not None else None,
+                )
+                time.sleep(sleep)
             try:
                 return operation()
             except ReproError as exc:
@@ -240,21 +346,40 @@ class RemoteRepository:
             raise last
         raise RemoteError(f"request failed after {self.retries} attempts: {last}") from last
 
-    def _simple_request(self, request: bytes, expect: FrameType) -> dict:
+    def _simple_request(self, ftype: FrameType, obj: dict, expect: FrameType, kind: str) -> dict:
         conn = self.pool.acquire()
+        trace = conn.next_trace()
+        started = time.perf_counter()
         try:
-            conn.send(request)
-            ftype, payload = conn.recv_frame()
-            if ftype == FrameType.ERROR:
+            conn.send(encode_json(ftype, dict(obj, trace=trace)))
+            reply_type, payload = conn.recv_frame()
+            if reply_type == FrameType.ERROR:
                 raise_remote_error(payload)
-            if ftype != expect:
-                raise ProtocolError(f"expected {expect.name}, got {ftype.name}")
-            return decode_json(payload)
-        except BaseException:
+            if reply_type != expect:
+                raise ProtocolError(f"expected {expect.name}, got {reply_type.name}")
+            reply = decode_json(payload)
+        except BaseException as exc:
             conn.close()
+            self.events.log(
+                f"client_{kind}_error",
+                trace=trace,
+                repo=obj.get("repo"),
+                duration_ms=round((time.perf_counter() - started) * 1000, 3),
+                error=type(exc).__name__,
+                message=str(exc),
+            )
             raise
         finally:
             self.pool.release(conn)
+        elapsed = time.perf_counter() - started
+        self.metrics.observe(f"client.{kind}_seconds", elapsed)
+        self.events.log(
+            f"client_{kind}_end",
+            trace=trace,
+            repo=obj.get("repo"),
+            duration_ms=round(elapsed * 1000, 3),
+        )
+        return reply
 
     # ------------------------------------------------------------------
     # Backup (mutating — never retried)
@@ -267,17 +392,23 @@ class RemoteRepository:
     def backup_blocks(self, blocks: Iterable[bytes], plan: FilePlan, tag: str = "") -> Dict:
         """Stream one version's bytes under the server's credit window."""
         conn = self.pool.acquire()
+        trace = conn.next_trace()
+        self.events.log(
+            "client_backup_begin", trace=trace, repo=self.repo, files=len(plan)
+        )
+        started = time.perf_counter()
         try:
             begin = {
                 "repo": self.repo,
                 "tag": tag or "",
                 "files": [[rel, size] for rel, size in plan],
+                "trace": trace,
             }
             conn.send(encode_json(FrameType.BACKUP_BEGIN, begin))
             credits = 0
             for block in iter_data_blocks(iter(blocks)):
                 while credits <= 0:
-                    credits += self._await_credit(conn)
+                    credits += self._await_credit(conn, trace)
                 try:
                     conn.send(encode_data(block))
                 except OSError as exc:
@@ -295,16 +426,43 @@ class RemoteRepository:
                     raise_remote_error(payload)
                 if ftype != FrameType.BACKUP_DONE:
                     raise ProtocolError(f"expected BACKUP_DONE, got {ftype.name}")
-                return decode_json(payload)
-        except BaseException:
+                report = decode_json(payload)
+                break
+        except BaseException as exc:
             conn.close()
+            self.events.log(
+                "client_backup_error",
+                trace=trace,
+                repo=self.repo,
+                duration_ms=round((time.perf_counter() - started) * 1000, 3),
+                error=type(exc).__name__,
+                message=str(exc),
+            )
             raise
         finally:
             self.pool.release(conn)
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("client.backup_seconds", elapsed)
+        self.events.log(
+            "client_backup_end",
+            trace=trace,
+            repo=self.repo,
+            duration_ms=round(elapsed * 1000, 3),
+        )
+        return report
 
-    @staticmethod
-    def _await_credit(conn: Connection) -> int:
+    def _await_credit(self, conn: Connection, trace: str) -> int:
+        started = time.perf_counter()
         ftype, payload = conn.recv_frame()
+        stalled = time.perf_counter() - started
+        self.metrics.observe("client.credit_stall_seconds", stalled)
+        if stalled >= 0.001:  # only log stalls worth reading about
+            self.events.log(
+                "client_credit_stall",
+                trace=trace,
+                repo=self.repo,
+                duration_ms=round(stalled * 1000, 3),
+            )
         if ftype == FrameType.ERROR:
             raise_remote_error(payload)
         if ftype != FrameType.CREDIT:
@@ -320,13 +478,14 @@ class RemoteRepository:
     def restore(self, version_id: int) -> Tuple[FilePlan, Iterator[bytes]]:
         """A version's file plan plus its reassembled byte stream."""
 
-        def begin() -> Tuple[Connection, dict]:
+        def begin() -> Tuple[Connection, str, dict]:
             conn = self.pool.acquire()
+            trace = conn.next_trace()
             try:
                 conn.send(
                     encode_json(
                         FrameType.RESTORE_BEGIN,
-                        {"repo": self.repo, "version": version_id},
+                        {"repo": self.repo, "version": version_id, "trace": trace},
                     )
                 )
                 ftype, payload = conn.recv_frame()
@@ -334,29 +493,58 @@ class RemoteRepository:
                     raise_remote_error(payload)
                 if ftype != FrameType.RESTORE_META:
                     raise ProtocolError(f"expected RESTORE_META, got {ftype.name}")
-                return conn, decode_json(payload)
+                return conn, trace, decode_json(payload)
             except BaseException:
                 conn.close()
                 self.pool.release(conn)
                 raise
 
-        conn, meta = self._with_retries(begin)
+        started = time.perf_counter()
+        conn, trace, meta = self._with_retries(begin)
         plan: FilePlan = [(rel, size) for rel, size in meta.get("files", [])]
+        self.events.log(
+            "client_restore_begin",
+            trace=trace,
+            repo=self.repo,
+            version=version_id,
+            files=len(plan),
+        )
 
         def data() -> Iterator[bytes]:
+            received = 0
             try:
                 while True:
                     ftype, payload = conn.recv_frame()
                     if ftype == FrameType.CHUNK_DATA:
+                        received += len(payload)
                         yield payload
                     elif ftype == FrameType.RESTORE_END:
+                        elapsed = time.perf_counter() - started
+                        self.metrics.observe("client.restore_seconds", elapsed)
+                        self.events.log(
+                            "client_restore_end",
+                            trace=trace,
+                            repo=self.repo,
+                            version=version_id,
+                            bytes=received,
+                            duration_ms=round(elapsed * 1000, 3),
+                        )
                         return
                     elif ftype == FrameType.ERROR:
                         raise_remote_error(payload)
                     else:
                         raise ProtocolError(f"unexpected {ftype.name} during restore")
-            except BaseException:
+            except BaseException as exc:
                 conn.close()
+                self.events.log(
+                    "client_restore_error",
+                    trace=trace,
+                    repo=self.repo,
+                    version=version_id,
+                    duration_ms=round((time.perf_counter() - started) * 1000, 3),
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
                 raise
             finally:
                 self.pool.release(conn)
@@ -369,8 +557,7 @@ class RemoteRepository:
     def versions(self) -> List[Dict]:
         reply = self._with_retries(
             lambda: self._simple_request(
-                encode_json(FrameType.VERSIONS, {"repo": self.repo}),
-                FrameType.VERSIONS_OK,
+                FrameType.VERSIONS, {"repo": self.repo}, FrameType.VERSIONS_OK, "versions"
             )
         )
         return list(reply.get("versions", []))
@@ -378,7 +565,7 @@ class RemoteRepository:
     def stats(self) -> Dict:
         return self._with_retries(
             lambda: self._simple_request(
-                encode_json(FrameType.STATS, {"repo": self.repo}), FrameType.STATS_OK
+                FrameType.STATS, {"repo": self.repo}, FrameType.STATS_OK, "stats"
             )
         )
 
@@ -386,7 +573,7 @@ class RemoteRepository:
         """Daemon-wide counters (every repo + service totals)."""
         return self._with_retries(
             lambda: self._simple_request(
-                encode_json(FrameType.STATS, {"repo": None}), FrameType.STATS_OK
+                FrameType.STATS, {"repo": None}, FrameType.STATS_OK, "stats"
             )
         )
 
@@ -395,6 +582,5 @@ class RemoteRepository:
     # ------------------------------------------------------------------
     def delete_oldest(self) -> Dict:
         return self._simple_request(
-            encode_json(FrameType.DELETE_OLDEST, {"repo": self.repo}),
-            FrameType.DELETE_OK,
+            FrameType.DELETE_OLDEST, {"repo": self.repo}, FrameType.DELETE_OK, "delete"
         )

@@ -29,6 +29,7 @@ from ..pipeline.base import BackupEngine
 from ..pipeline.schemes import build_scheme
 from ..reports import BackupReport, SystemReport
 from ..restore.base import RestoreAlgorithm, RestoreResult
+from ..observability import get_registry
 from ..storage.recipe import RecipeEntry
 from ..units import CONTAINER_SIZE
 from .maintenance import MaintenanceExecutor
@@ -70,7 +71,8 @@ class PipelinedIngestEngine:
         are still being chunked — with HiDeStore underneath, the previous
         version's filter maintenance interleaves too.
         """
-        return self.system.backup(self.pipeline.stream(items, tag=tag))
+        with get_registry().timer("engine.ingest_seconds"):
+            return self.system.backup(self.pipeline.stream(items, tag=tag))
 
     def backup(self, stream: BackupStream) -> BackupReport:
         """Back up an already-chunked stream (protocol compatibility)."""

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, List, Optional
+
+from ..observability import MetricsRegistry, get_registry
 
 
 class MaintenanceExecutor:
@@ -31,7 +34,9 @@ class MaintenanceExecutor:
     intra-maintenance parallelism.
     """
 
-    def __init__(self, name: str = "maintenance") -> None:
+    def __init__(self, name: str = "maintenance",
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else get_registry()
         self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
         self._state_lock = threading.Lock()
         self._errors: List[BaseException] = []
@@ -81,10 +86,17 @@ class MaintenanceExecutor:
         Returns the number of tasks completed since the previous drain and
         re-raises the first exception any of them produced.
         """
+        started = time.perf_counter()
         self._queue.join()
         with self._state_lock:
             errors, self._errors = self._errors, []
             completed, self._completed = self._completed, 0
+        if completed:
+            # Only meaningful drains are recorded — barrier checks with an
+            # empty queue would swamp the histogram with ~0 s samples.
+            self.metrics.observe(
+                "engine.maintenance_drain_seconds", time.perf_counter() - started
+            )
         if errors:
             raise errors[0]
         return completed

@@ -1,0 +1,45 @@
+"""Operational observability: metrics, structured events, trace IDs.
+
+This package is the *service* telemetry layer — distinct from
+:mod:`repro.metrics`, which computes the paper's research metrics (dedup
+ratio, speed factor) from simulation state.  Everything here is
+dependency-free and thread-safe, because engine work runs on worker
+threads while the daemon's event loop serves sockets:
+
+* :class:`MetricsRegistry` — named counters, gauges and fixed-bucket
+  latency histograms (p50/p95/p99 via linear interpolation).  A process
+  default registry (:func:`get_registry`) lets deep layers (container
+  store, chunker stages) record timings without plumbing a registry
+  through every constructor; tests pass their own instances.
+* :class:`JsonEventLogger` — structured JSON-lines event log (one object
+  per line) for the daemon's ``--log-json`` and the client's span log.
+  :class:`EventLogger` is the no-op base used when logging is off.
+* :func:`new_trace_id` — random correlation IDs; the daemon assigns one
+  per session (returned in ``HELLO_OK``) and both sides derive
+  ``<session>.<seq>`` per-request IDs from it, so one grep joins client
+  and server records for a single backup.
+"""
+
+from .events import EventLogger, JsonEventLogger, new_trace_id, open_event_log, read_jsonl
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventLogger",
+    "Gauge",
+    "Histogram",
+    "JsonEventLogger",
+    "MetricsRegistry",
+    "get_registry",
+    "new_trace_id",
+    "open_event_log",
+    "read_jsonl",
+]

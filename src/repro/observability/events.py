@@ -1,0 +1,157 @@
+"""Structured JSON event logging + trace-ID generation.
+
+One event per line, one JSON object per event — the format every log
+aggregator ingests directly and ``jq`` slices interactively::
+
+    {"ts": 1754300000.123, "event": "backup_begin", "trace": "3f2a….1", "repo": "alpha"}
+    {"ts": 1754300001.456, "event": "backup_end",   "trace": "3f2a….1", "repo": "alpha",
+     "duration_ms": 1333.1}
+
+Correlation model: the daemon mints one trace ID per client session and
+hands it to the client in ``HELLO_OK``; both sides then derive
+``<session>.<seq>`` request IDs independently (the client embeds its copy
+in every request payload, and the server prefers the payload's ID when
+present).  Grep one trace ID across the daemon log and a client log and
+the full request timeline falls out.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional, Union
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char correlation ID (random, collision-negligible)."""
+    return uuid.uuid4().hex[:16]
+
+
+class EventLogger:
+    """The no-op event sink: every recording site costs one method call.
+
+    Also the interface contract — :class:`JsonEventLogger` overrides
+    :meth:`log`; :meth:`span` is implemented once, on top of ``log``.
+    """
+
+    enabled = False
+
+    def log(self, event: str, **fields) -> None:  # noqa: ARG002 - interface
+        """Record one event (ignored by the no-op base)."""
+
+    @contextmanager
+    def span(self, name: str, trace: Optional[str] = None, **fields) -> Iterator[None]:
+        """Log ``<name>_begin`` / ``<name>_end`` (or ``_error``) around a block."""
+        if not self.enabled:
+            yield
+            return
+        self.log(f"{name}_begin", trace=trace, **fields)
+        started = time.perf_counter()
+        try:
+            yield
+        except BaseException as exc:
+            self.log(
+                f"{name}_error",
+                trace=trace,
+                duration_ms=round((time.perf_counter() - started) * 1000, 3),
+                error=type(exc).__name__,
+                message=str(exc),
+                **fields,
+            )
+            raise
+        self.log(
+            f"{name}_end",
+            trace=trace,
+            duration_ms=round((time.perf_counter() - started) * 1000, 3),
+            **fields,
+        )
+
+    def close(self) -> None:
+        """Release the sink (no-op here)."""
+
+
+class JsonEventLogger(EventLogger):
+    """Append structured events as JSON lines to a file, stream or stdout.
+
+    Args:
+        target: a path, ``"-"`` for stdout, or an open text stream.
+        source: optional tag stamped on every record (``"daemon"``,
+            ``"client"``) so merged logs stay attributable.
+
+    Thread-safe: one lock serialises line writes, each line is flushed
+    whole, so concurrent sessions never interleave partial records.
+    """
+
+    enabled = True
+
+    def __init__(self, target: Union[str, IO[str]], source: str = "") -> None:
+        self.source = source
+        self._lock = threading.Lock()
+        self._owns_stream = False
+        if isinstance(target, str):
+            if target == "-":
+                self._stream: IO[str] = sys.stdout
+            else:
+                directory = os.path.dirname(os.path.abspath(target))
+                os.makedirs(directory, exist_ok=True)
+                self._stream = open(target, "a", encoding="utf-8", buffering=1)
+                self._owns_stream = True
+        else:
+            self._stream = target
+
+    def log(self, event: str, **fields) -> None:
+        record = {"ts": round(time.time(), 6), "event": event}
+        if self.source:
+            record["source"] = self.source
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            stream = self._stream
+            if stream is None:
+                return
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except ValueError:  # pragma: no cover - stream closed underneath us
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            stream, self._stream = self._stream, None
+        if stream is not None and self._owns_stream:
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def __enter__(self) -> "JsonEventLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_event_log(spec: Optional[str], source: str = "") -> EventLogger:
+    """``None`` → no-op logger; ``"-"`` → stdout; anything else → file path."""
+    if not spec:
+        return EventLogger()
+    return JsonEventLogger(spec, source=source)
+
+
+def read_jsonl(path: str) -> list:
+    """Parse a JSON-lines file back into a list of dicts (tests, tooling)."""
+    records = []
+    with io.open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .chunking import FastCDCChunker
 from .core.checkpoint import load_checkpoint, save_checkpoint
 from .core.hidestore import HiDeStore
 from .errors import ReproError, RestoreError, VersionNotFoundError
+from .observability import MetricsRegistry, get_registry
 from .storage.container_store import FileContainerStore
 from .storage.recipe import FileRecipeStore
 
@@ -52,7 +54,12 @@ def checkpoint_path(repo: str) -> str:
     return os.path.join(repo, "checkpoint.json")
 
 
-def open_repository(repo: str, history_depth: int = 1, compress: bool = False) -> HiDeStore:
+def open_repository(
+    repo: str,
+    history_depth: int = 1,
+    compress: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+) -> HiDeStore:
     """Open (or initialise) a HiDeStore repository directory.
 
     The sealed world lives in ``containers/`` and ``recipes/``; the volatile
@@ -66,11 +73,11 @@ def open_repository(repo: str, history_depth: int = 1, compress: bool = False) -
     if os.path.exists(checkpoint):
         return load_checkpoint(
             checkpoint,
-            FileContainerStore(containers_dir, compress=compress),
+            FileContainerStore(containers_dir, compress=compress, metrics=metrics),
             FileRecipeStore(recipes_dir),
         )
     store = HiDeStore(
-        container_store=FileContainerStore(containers_dir, compress=compress),
+        container_store=FileContainerStore(containers_dir, compress=compress, metrics=metrics),
         recipe_store=FileRecipeStore(recipes_dir),
         history_depth=history_depth,
     )
@@ -171,6 +178,8 @@ class LocalRepository:
         compress: zlib-compress container files on disk.
         workers / pipeline: parallel-ingest knobs for :meth:`backup_tree`
             (forwarded to the §5.4 engine; the server keeps the defaults).
+        metrics: registry for stage-timing histograms (chunking, dedup,
+            restore); defaults to the process registry.
 
     Thread-safety: backups and deletions must be externally serialised (the
     daemon's per-repo writer lock does this); concurrent restores and stats
@@ -185,12 +194,14 @@ class LocalRepository:
         compress: bool = False,
         workers: int = 1,
         pipeline: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.root = root
         self.history_depth = history_depth
         self.compress = compress
         self.workers = workers
         self.pipeline = pipeline
+        self.metrics = metrics if metrics is not None else get_registry()
         self._store: Optional[HiDeStore] = None
         self._open_lock = threading.Lock()
 
@@ -201,7 +212,8 @@ class LocalRepository:
         with self._open_lock:
             if self._store is None:
                 self._store = open_repository(
-                    self.root, self.history_depth, compress=self.compress
+                    self.root, self.history_depth,
+                    compress=self.compress, metrics=self.metrics,
                 )
             return self._store
 
@@ -246,13 +258,30 @@ class LocalRepository:
         store = self._open_for_backup()
         chunker = FastCDCChunker()
         fingerprinter = Fingerprinter()
+        timings = {"chunking": 0.0}
 
         def chunks():
-            for piece in chunker.split_stream(iter(blocks)):
-                yield fingerprinter.chunk(piece)
+            # Accumulate chunker+fingerprint wall time inside the lazy
+            # stream.  Note this includes waiting on the source iterator
+            # (frame arrival, for network ingest) — it bounds the time the
+            # dedup engine spent blocked on upstream stages.
+            source = iter(blocks)
+            mark = time.perf_counter()
+            for piece in chunker.split_stream(source):
+                chunk = fingerprinter.chunk(piece)
+                timings["chunking"] += time.perf_counter() - mark
+                yield chunk
+                mark = time.perf_counter()
+            timings["chunking"] += time.perf_counter() - mark
 
         stream = LazyBackupStream(chunks(), tag=tag or "")
-        return self._guarded_backup(store, lambda: store.backup(stream), plan)
+        started = time.perf_counter()
+        report = self._guarded_backup(store, lambda: store.backup(stream), plan)
+        total = time.perf_counter() - started
+        self.metrics.observe("repo.backup_seconds", total)
+        self.metrics.observe("repo.chunking_seconds", timings["chunking"])
+        self.metrics.observe("repo.dedup_seconds", max(0.0, total - timings["chunking"]))
+        return report
 
     def _backup_pipelined(self, entries, plan: FilePlan, tag: str) -> Dict:
         from .engine import (
@@ -284,7 +313,10 @@ class LocalRepository:
 
             # save_checkpoint (inside the guard) drains queued maintenance,
             # so the background executor is idle by the time it is closed.
-            return self._guarded_backup(store, run, plan)
+            started = time.perf_counter()
+            report = self._guarded_backup(store, run, plan)
+            self.metrics.observe("repo.backup_seconds", time.perf_counter() - started)
+            return report
         finally:
             if executor is not None:
                 executor.close()
@@ -358,14 +390,16 @@ class LocalRepository:
                 if name.endswith(".tmp"):
                     os.remove(path)
                 elif name.startswith("container-") and name.endswith(".hdsc"):
-                    cid = int(name[len("container-") : -len(".hdsc")])
-                    if cid >= mark:
+                    stem = name[len("container-") : -len(".hdsc")]
+                    # Foreign files (e.g. "container-backup.hdsc") are not
+                    # ours to delete; only numeric IDs from this attempt go.
+                    if stem.isdigit() and int(stem) >= mark:
                         os.remove(path)
         if os.path.isdir(manifests_dir):
             for name in os.listdir(manifests_dir):
                 if name.startswith("manifest-") and name.endswith(".txt"):
-                    vid = int(name[len("manifest-") : -len(".txt")])
-                    if vid not in versions_before:
+                    stem = name[len("manifest-") : -len(".txt")]
+                    if stem.isdigit() and int(stem) not in versions_before:
                         os.remove(os.path.join(manifests_dir, name))
 
     # ------------------------------------------------------------------
@@ -389,10 +423,12 @@ class LocalRepository:
         plan = self.restore_plan(version_id)
 
         def data() -> Iterator[bytes]:
+            started = time.perf_counter()
             for chunk in store.restore_chunks(version_id):
                 if chunk.data is None:
                     raise ReproError("repository chunk carries no payload")
                 yield chunk.data
+            self.metrics.observe("repo.restore_seconds", time.perf_counter() - started)
 
         return plan, data()
 

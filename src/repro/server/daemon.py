@@ -41,6 +41,7 @@ from ..client.protocol import (
     encode_json,
 )
 from ..errors import ProtocolError, ReproError, RemoteError, ServerDrainingError
+from ..observability import EventLogger, MetricsRegistry, get_registry, new_trace_id
 from ..repository import FilePlan, validate_rel_name
 from .registry import RepoHandle, RepositoryRegistry
 
@@ -74,6 +75,16 @@ class _EndSession(Exception):
     """Internal: tear down this client connection (after an ERROR frame)."""
 
 
+def sanitize_trace(value: object) -> str:
+    """Vet a client-supplied trace ID for the logs (printable, bounded)."""
+    if not isinstance(value, str):
+        return ""
+    text = value[:64]
+    if any(not (32 <= ord(ch) < 127) for ch in text):
+        return ""
+    return text
+
+
 class _Session:
     """One client connection's frame conversation."""
 
@@ -81,9 +92,21 @@ class _Session:
         self.daemon = daemon
         self.reader = reader
         self.writer = writer
+        # One trace ID per session; per-request IDs are "<session>.<seq>"
+        # (the client derives the same IDs from the HELLO_OK handoff).
+        self.trace = new_trace_id()
+        self.seq = 0
 
     # ------------------------------------------------------------------
     async def run(self) -> None:
+        peer = None
+        try:
+            peer = self.writer.get_extra_info("peername")
+        except Exception:  # pragma: no cover - transport quirk
+            pass
+        self.daemon.events.log(
+            "session_open", trace=self.trace, peer=str(peer) if peer else None
+        )
         try:
             await self._handshake()
             while True:
@@ -99,6 +122,7 @@ class _Session:
         except ProtocolError as exc:
             await self._send_error(exc)
         finally:
+            self.daemon.events.log("session_close", trace=self.trace, requests=self.seq)
             self.writer.close()
             try:
                 await self.writer.wait_closed()
@@ -117,6 +141,7 @@ class _Session:
                     "magic": MAGIC,
                     "version": PROTOCOL_VERSION,
                     "window": self.daemon.window,
+                    "trace": self.trace,
                 },
             )
         )
@@ -132,27 +157,59 @@ class _Session:
     # ------------------------------------------------------------------
     async def _dispatch(self, ftype: FrameType, payload: bytes) -> None:
         handlers = {
-            FrameType.BACKUP_BEGIN: self._handle_backup,
-            FrameType.RESTORE_BEGIN: self._handle_restore,
-            FrameType.STATS: self._handle_stats,
-            FrameType.VERSIONS: self._handle_versions,
-            FrameType.DELETE_OLDEST: self._handle_delete_oldest,
+            FrameType.BACKUP_BEGIN: ("backup", self._handle_backup),
+            FrameType.RESTORE_BEGIN: ("restore", self._handle_restore),
+            FrameType.STATS: ("stats", self._handle_stats),
+            FrameType.VERSIONS: ("versions", self._handle_versions),
+            FrameType.DELETE_OLDEST: ("delete", self._handle_delete_oldest),
         }
-        handler = handlers.get(ftype)
-        if handler is None:
+        entry = handlers.get(ftype)
+        if entry is None:
             raise ProtocolError(f"unexpected {ftype.name} frame between requests")
+        kind, handler = entry
+        obj = decode_json(payload)
+        self.seq += 1
+        # Prefer the client's request trace (carried in the payload) so one
+        # ID joins both sides' logs; fall back to our own session-derived ID.
+        trace = sanitize_trace(obj.get("trace")) or f"{self.trace}.{self.seq}"
+        repo = obj.get("repo") if isinstance(obj.get("repo"), str) else None
+        events, metrics = self.daemon.events, self.daemon.metrics
+        metrics.inc("server.requests_total")
+        events.log(f"{kind}_begin", trace=trace, repo=repo)
+        started = time.perf_counter()
         try:
-            await handler(decode_json(payload))
-        except (_EndSession, asyncio.CancelledError):
+            await handler(obj)
+        except asyncio.CancelledError:
             raise
-        except (asyncio.IncompleteReadError, ConnectionError):
-            raise _EndSession() from None
-        except ProtocolError as exc:
-            # Framing is no longer trustworthy: report and hang up.
+        except BaseException as exc:
+            elapsed = time.perf_counter() - started
+            cause = exc.__cause__ if isinstance(exc, _EndSession) and exc.__cause__ else exc
+            metrics.inc("server.errors_total")
+            metrics.inc(f"server.{kind}_errors_total")
+            events.log(
+                f"{kind}_error",
+                trace=trace,
+                repo=repo,
+                duration_ms=round(elapsed * 1000, 3),
+                error=type(cause).__name__,
+                message=str(cause),
+            )
+            if isinstance(exc, _EndSession):
+                raise
+            if isinstance(exc, (asyncio.IncompleteReadError, ConnectionError)):
+                raise _EndSession() from None
+            if isinstance(exc, ProtocolError):
+                # Framing is no longer trustworthy: report and hang up.
+                await self._send_error(exc)
+                raise _EndSession() from None
             await self._send_error(exc)
-            raise _EndSession() from None
-        except Exception as exc:  # ReproError and anything unexpected
-            await self._send_error(exc)
+        else:
+            elapsed = time.perf_counter() - started
+            metrics.observe(f"server.{kind}_seconds", elapsed)
+            events.log(
+                f"{kind}_end", trace=trace, repo=repo,
+                duration_ms=round(elapsed * 1000, 3),
+            )
 
     # ------------------------------------------------------------------
     # Ingest
@@ -179,11 +236,16 @@ class _Session:
         loop = asyncio.get_running_loop()
         window = self.daemon.window
         blocks: "queue.Queue" = queue.Queue()
-        consumed = {"since_grant": 0, "total": 0}
+        consumed = {"since_grant": 0, "total": 0, "ended": False}
 
         def note_consumed() -> None:
             # Loop-side: grant fresh window as the engine drains the queue.
             consumed["total"] += 1
+            # Once BACKUP_END arrives the client sends no more data, so any
+            # further CREDIT would land *after* BACKUP_DONE and poison the
+            # next pooled request on this connection.  Stop granting.
+            if consumed["ended"]:
+                return
             consumed["since_grant"] += 1
             if consumed["since_grant"] >= max(1, window // 2) and not self.writer.is_closing():
                 grant, consumed["since_grant"] = consumed["since_grant"], 0
@@ -233,8 +295,10 @@ class _Session:
                     received += 1
                     if received - consumed["total"] > window * 2:
                         raise ProtocolError("client overran its credit window")
+                    self.daemon.metrics.inc("server.ingest_bytes", len(payload))
                     blocks.put(payload)
                 elif ftype == FrameType.BACKUP_END:
+                    consumed["ended"] = True
                     blocks.put(_EOF)
                     break
                 else:
@@ -307,6 +371,7 @@ class _Session:
                 )
                 await self.writer.drain()
                 handle.note_restore(sent_bytes)
+                self.daemon.metrics.inc("server.restore_bytes", sent_bytes)
                 self.daemon.note_session("restore")
             finally:
                 handle.active_ops -= 1
@@ -331,6 +396,7 @@ class _Session:
             handle = self.daemon.registry.get(name)
             async with handle.lock.read_locked():
                 doc = await asyncio.to_thread(handle.stats)
+        doc["metrics"] = self.daemon.metrics.snapshot()
         self.daemon.note_session("stats")
         self.writer.write(encode_json(FrameType.STATS_OK, doc))
         await self.writer.drain()
@@ -368,6 +434,12 @@ class BackupDaemon:
         history_depth / compress: forwarded to newly created repositories.
         drain_timeout: seconds in-flight sessions get to finish on
             :meth:`shutdown` before being cancelled into rollback.
+        metrics: the :class:`MetricsRegistry` to record into (defaults to
+            the process registry, so engine-layer timings land beside the
+            daemon's own request histograms).
+        event_log: structured event sink; defaults to the no-op logger.
+        metrics_interval: seconds between periodic ``metrics_report``
+            events in the event log (0 disables the reporter).
     """
 
     def __init__(
@@ -379,17 +451,27 @@ class BackupDaemon:
         history_depth: int = 1,
         compress: bool = False,
         drain_timeout: float = 10.0,
+        metrics: Optional[MetricsRegistry] = None,
+        event_log: Optional[EventLogger] = None,
+        metrics_interval: float = 0.0,
     ) -> None:
         if window < 1:
             raise ReproError("credit window must be at least 1 frame")
-        self.registry = RepositoryRegistry(root, history_depth, compress)
+        self.metrics = metrics if metrics is not None else get_registry()
+        # Hosted repositories record their stage timings (chunking, dedup,
+        # container I/O) into the daemon's registry, so STATS metrics tell
+        # one consistent story per daemon.
+        self.registry = RepositoryRegistry(root, history_depth, compress, self.metrics)
         self.host = host
         self.port = port
         self.window = window
         self.drain_timeout = drain_timeout
+        self.events = event_log if event_log is not None else EventLogger()
+        self.metrics_interval = metrics_interval
         self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._sessions: Set[asyncio.Task] = set()
+        self._reporter: Optional[asyncio.Task] = None
         self._started = time.monotonic()
         self._session_counts: Dict[str, int] = {}
 
@@ -399,6 +481,18 @@ class BackupDaemon:
         self._server = await asyncio.start_server(self._accept, self.host, self.port)
         self._started = time.monotonic()
         self.port = self._server.sockets[0].getsockname()[1]
+        self.events.log("daemon_start", address=self.address, window=self.window)
+        if self.metrics_interval > 0:
+            self._reporter = asyncio.ensure_future(self._report_metrics())
+
+    async def _report_metrics(self) -> None:
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            self.events.log(
+                "metrics_report",
+                metrics=self.metrics.snapshot(),
+                server=self.server_stats(),
+            )
 
     @property
     def address(self) -> str:
@@ -451,6 +545,13 @@ class BackupDaemon:
         """
         timeout = self.drain_timeout if drain_timeout is None else drain_timeout
         self.draining = True
+        if self._reporter is not None:
+            self._reporter.cancel()
+            try:
+                await self._reporter
+            except asyncio.CancelledError:
+                pass
+            self._reporter = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -462,6 +563,7 @@ class BackupDaemon:
             task.cancel()
         if tasks:
             await asyncio.wait(tasks, timeout=max(5.0, timeout))
+        self.events.log("daemon_stop", address=self.address)
 
 
 class DaemonThread:
@@ -482,10 +584,19 @@ class DaemonThread:
         self._ready = threading.Event()
         self._thread = threading.Thread(target=self._run, name="backup-daemon", daemon=True)
         self._stopped = False
+        self._startup_error: Optional[BaseException] = None
 
     def _run(self) -> None:
         asyncio.set_event_loop(self._loop)
-        self._loop.run_until_complete(self.daemon.start())
+        try:
+            self._loop.run_until_complete(self.daemon.start())
+        except BaseException as exc:
+            # Stash the failure (port already bound, bad address, ...) for
+            # start() to re-raise immediately instead of timing out.
+            self._startup_error = exc
+            self._ready.set()
+            self._loop.close()
+            return
         self._ready.set()
         self._loop.run_forever()
         self._loop.close()
@@ -494,6 +605,9 @@ class DaemonThread:
         self._thread.start()
         if not self._ready.wait(timeout=10):
             raise ReproError("backup daemon failed to start within 10s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise self._startup_error
         return self.daemon.address
 
     @property
@@ -505,6 +619,9 @@ class DaemonThread:
         if self._stopped:
             return
         self._stopped = True
+        if self._startup_error is not None or not self._thread.is_alive():
+            self._thread.join(timeout=10)
+            return
         future = asyncio.run_coroutine_threadsafe(
             self.daemon.shutdown(drain_timeout), self._loop
         )

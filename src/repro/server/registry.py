@@ -25,6 +25,7 @@ from contextlib import asynccontextmanager
 from typing import Dict, List
 
 from ..errors import RemoteError
+from ..observability import MetricsRegistry
 from ..repository import LocalRepository
 
 #: Tenant names: filesystem-safe, no traversal, no hidden dirs.
@@ -72,9 +73,18 @@ class ReadWriteLock:
 class RepoHandle:
     """One hosted repository: engine front end, lock, service counters."""
 
-    def __init__(self, name: str, root: str, history_depth: int, compress: bool) -> None:
+    def __init__(
+        self,
+        name: str,
+        root: str,
+        history_depth: int,
+        compress: bool,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         self.name = name
-        self.repository = LocalRepository(root, history_depth=history_depth, compress=compress)
+        self.repository = LocalRepository(
+            root, history_depth=history_depth, compress=compress, metrics=metrics
+        )
         self.lock = ReadWriteLock()
         self.active_ops = 0
         self.counters: Dict[str, int] = {
@@ -120,10 +130,17 @@ class RepoHandle:
 class RepositoryRegistry:
     """Maps tenant names to live :class:`RepoHandle` instances."""
 
-    def __init__(self, root: str, history_depth: int = 1, compress: bool = False) -> None:
+    def __init__(
+        self,
+        root: str,
+        history_depth: int = 1,
+        compress: bool = False,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         self.root = root
         self.history_depth = history_depth
         self.compress = compress
+        self.metrics = metrics
         os.makedirs(root, exist_ok=True)
         self._handles: Dict[str, RepoHandle] = {}
         self._lock = threading.Lock()
@@ -147,7 +164,9 @@ class RepositoryRegistry:
             repo_root = os.path.join(self.root, name)
             if not create and not os.path.isdir(repo_root):
                 raise RemoteError(f"unknown repository {name!r}")
-            handle = RepoHandle(name, repo_root, self.history_depth, self.compress)
+            handle = RepoHandle(
+                name, repo_root, self.history_depth, self.compress, self.metrics
+            )
             self._handles[name] = handle
             return handle
 

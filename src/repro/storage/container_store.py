@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import StorageError, UnknownContainerError
+from ..observability import MetricsRegistry, get_registry
 from ..units import CONTAINER_SIZE, FINGERPRINT_SIZE
 from .container import Container
 from .io_model import IOStats
@@ -192,6 +194,8 @@ class FileContainerStore(ContainerStore):
     Args:
         compress: zlib-compress container files on disk (transparent on
             read; compressed and plain files can coexist in one store).
+        metrics: registry for container I/O histograms/counters (defaults
+            to the process registry).
     """
 
     def __init__(
@@ -200,10 +204,12 @@ class FileContainerStore(ContainerStore):
         capacity: int = CONTAINER_SIZE,
         stats: Optional[IOStats] = None,
         compress: bool = False,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         super().__init__(capacity, stats)
         self.root = root
         self.compress = compress
+        self.metrics = metrics if metrics is not None else get_registry()
         os.makedirs(root, exist_ok=True)
         self._sweep_tmp_files()
         existing = self.container_ids()
@@ -232,6 +238,7 @@ class FileContainerStore(ContainerStore):
         if os.path.exists(path):
             raise StorageError(f"container {container.container_id} already stored")
         container.seal()
+        started = time.perf_counter()
         blob = pack_container(container)
         if self.compress:
             blob = _COMPRESSED_MAGIC + zlib.compress(blob, level=1)
@@ -245,10 +252,15 @@ class FileContainerStore(ContainerStore):
                 os.remove(tmp)
             raise
         self.stats.note_container_write(container.used)
+        self.metrics.observe("store.container_write_seconds", time.perf_counter() - started)
+        self.metrics.inc("store.container_write_bytes", len(blob))
 
     def read(self, container_id: int) -> Container:
+        started = time.perf_counter()
         container = self._load(container_id)
         self.stats.note_container_read(container.used)
+        self.metrics.observe("store.container_read_seconds", time.perf_counter() - started)
+        self.metrics.inc("store.container_read_bytes", container.used)
         return container
 
     def peek(self, container_id: int) -> Container:
@@ -282,5 +294,9 @@ class FileContainerStore(ContainerStore):
         ids = []
         for name in os.listdir(self.root):
             if name.startswith("container-") and name.endswith(".hdsc"):
-                ids.append(int(name[len("container-") : -len(".hdsc")]))
+                stem = name[len("container-") : -len(".hdsc")]
+                # Tolerate foreign files ("container-backup.hdsc", editor
+                # copies): a store open must never crash on a stray name.
+                if stem.isdigit():
+                    ids.append(int(stem))
         return sorted(ids)

@@ -154,6 +154,21 @@ class TestFileStoreSpecifics:
         store.write(c)
         assert os.path.exists(os.path.join(root, "container-00000001.hdsc"))
 
+    def test_foreign_files_do_not_break_store_open(self, tmp_path):
+        """A stray non-numeric name ("container-backup.hdsc") must not
+        crash container_ids / store open (regression: ValueError)."""
+        root = str(tmp_path / "c")
+        store = FileContainerStore(root, capacity=10_000)
+        c = store.allocate()
+        fill(c, [1])
+        store.write(c)
+        for name in ("container-backup.hdsc", "container-.hdsc", "README.txt"):
+            with open(os.path.join(root, name), "wb") as handle:
+                handle.write(b"not a container")
+        reopened = FileContainerStore(root, capacity=10_000)
+        assert reopened.container_ids() == [1]
+        assert reopened.allocate().container_id == 2
+
 
 class TestTmpHygiene:
     def test_open_sweeps_orphaned_tmp_files(self, tmp_path):

@@ -1,0 +1,230 @@
+"""Unit tests for :mod:`repro.observability`: registry, events, traces.
+
+The registry's thread-safety claims are exercised for real (concurrent
+increments/observations from many threads must lose nothing), and the
+histogram's bucket-edge and quantile behaviour is pinned down exactly —
+these numbers end up in STATS replies and operator dashboards.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_LATENCY_BUCKETS,
+    EventLogger,
+    Histogram,
+    JsonEventLogger,
+    MetricsRegistry,
+    get_registry,
+    new_trace_id,
+    open_event_log,
+    read_jsonl,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_counts_and_rejects_decrease(self):
+        reg = MetricsRegistry()
+        reg.inc("a.total")
+        reg.inc("a.total", 41)
+        assert reg.counter("a.total").value == 42
+        with pytest.raises(ValueError):
+            reg.counter("a.total").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        g = reg.gauge("depth")
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+    def test_concurrent_increments_lose_nothing(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits")
+        hist = reg.histogram("lat")
+        per_thread, threads = 2_000, 8
+
+        def worker():
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(0.01)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert counter.value == per_thread * threads
+        assert hist.count == per_thread * threads
+
+    def test_name_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("t", bounds=(1.0, 2.0, 4.0))
+        h.observe(1.0)   # exactly on an edge -> that bucket, not the next
+        h.observe(2.0)
+        h.observe(4.0)
+        h.observe(5.0)   # overflow bucket
+        assert h._counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.sum == 12.0
+
+    def test_quantiles_interpolate_and_clamp_to_observed_range(self):
+        h = Histogram("t", bounds=(0.1, 1.0))
+        for _ in range(100):
+            h.observe(0.05)
+        # All samples in the first bucket: interpolation stays within it,
+        # and the estimate never exceeds the observed max.
+        assert 0.0 < h.quantile(0.5) <= 0.05
+        assert h.quantile(0.99) <= 0.05
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("t", bounds=(0.1,))
+        h.observe(12.5)
+        assert h.quantile(0.99) == 12.5
+        snap = h.snapshot()
+        assert snap["max"] == 12.5
+        assert snap["p99"] == 12.5
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("t").snapshot()
+        assert snap == {"count": 0, "sum": 0.0, "min": None, "max": None,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_invalid_bounds_and_quantiles(self):
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t").quantile(0.0)
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert len(set(DEFAULT_LATENCY_BUCKETS)) == len(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistrySnapshotAndDisable:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("server.requests_total", 3)
+        reg.set_gauge("pool.depth", 2)
+        reg.observe("server.backup_seconds", 0.2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"server.requests_total": 3}
+        assert snap["gauges"] == {"pool.depth": 2}
+        hist = snap["histograms"]["server.backup_seconds"]
+        assert hist["count"] == 1
+        assert set(hist) >= {"p50", "p95", "p99", "count", "sum", "min", "max"}
+        # Must be JSON-serialisable as-is (goes into STATS replies).
+        json.dumps(snap)
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a")
+        reg.observe("b", 1.0)
+        reg.set_gauge("c", 1.0)
+        with reg.timer("d"):
+            pass
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        reg.enable()
+        reg.inc("a")
+        assert reg.snapshot()["counters"] == {"a": 1}
+
+    def test_timer_records_on_error_too(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("op"):
+                raise RuntimeError("boom")
+        assert reg.histogram("op").count == 1
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_default_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestEvents:
+    def test_trace_ids_unique_and_printable(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(t) == 16 and t.isalnum() for t in ids)
+
+    def test_json_event_logger_writes_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "log" / "events.jsonl")
+        with JsonEventLogger(path, source="test") as log:
+            log.log("begin", trace="abc.1", repo="alpha", skipped=None)
+            log.log("end", trace="abc.1", duration_ms=1.5)
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == ["begin", "end"]
+        assert records[0]["source"] == "test"
+        assert records[0]["trace"] == "abc.1"
+        assert "skipped" not in records[0]  # None-valued fields dropped
+        assert "ts" in records[0]
+
+    def test_span_logs_begin_end_with_duration(self):
+        stream = io.StringIO()
+        log = JsonEventLogger(stream)
+        with log.span("backup", trace="t.1", repo="alpha"):
+            pass
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [r["event"] for r in lines] == ["backup_begin", "backup_end"]
+        assert lines[1]["duration_ms"] >= 0
+
+    def test_span_logs_error_and_reraises(self):
+        stream = io.StringIO()
+        log = JsonEventLogger(stream)
+        with pytest.raises(ValueError):
+            with log.span("restore", trace="t.2"):
+                raise ValueError("missing version")
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [r["event"] for r in lines] == ["restore_begin", "restore_error"]
+        assert lines[1]["error"] == "ValueError"
+        assert "missing version" in lines[1]["message"]
+
+    def test_noop_logger_and_open_event_log(self, tmp_path):
+        assert not EventLogger().enabled
+        EventLogger().log("anything", trace="x")  # must not raise
+        assert isinstance(open_event_log(None), EventLogger)
+        assert not open_event_log(None).enabled
+        real = open_event_log(str(tmp_path / "e.jsonl"))
+        assert real.enabled
+        real.close()
+
+    def test_concurrent_logging_never_interleaves_lines(self, tmp_path):
+        path = str(tmp_path / "e.jsonl")
+        log = JsonEventLogger(path)
+
+        def worker(n):
+            for i in range(200):
+                log.log("tick", worker=n, i=i)
+
+        pool = [threading.Thread(target=worker, args=(n,)) for n in range(6)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        log.close()
+        records = read_jsonl(path)  # json.loads fails on any torn line
+        assert len(records) == 6 * 200

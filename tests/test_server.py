@@ -428,8 +428,17 @@ class TestTransport:
         assert parse_address("127.0.0.1:7777") == ("127.0.0.1", 7777)
         assert parse_address("[::1]:7777") == ("::1", 7777)
         assert parse_address(("host", 9)) == ("host", 9)
+        assert parse_address(("host", "8080")) == ("host", 8080)
         with pytest.raises(ProtocolError):
             parse_address("no-port")
+        with pytest.raises(ProtocolError):
+            parse_address("host:abc")
+        with pytest.raises(ProtocolError):
+            parse_address(("host", "notaport"))
+        with pytest.raises(ProtocolError):
+            parse_address(("host", 70000))
+        with pytest.raises(ProtocolError):
+            parse_address(("", 80))
 
     def test_foreign_client_rejected(self, daemon):
         _, address = daemon
@@ -491,6 +500,209 @@ class TestTransport:
             repo.close()
             if "thread" in late:
                 late["thread"].stop(drain_timeout=0)
+
+
+# ----------------------------------------------------------------------
+# The pooled-connection credit race (regression)
+# ----------------------------------------------------------------------
+class _StaleCreditServer:
+    """A scripted protocol speaker that writes a CREDIT *after* BACKUP_DONE.
+
+    Deterministically reproduces the race the real daemon used to have: a
+    ``note_consumed`` callback landing after the completion frame.  The
+    stale CREDIT arrives in the same TCP segment as BACKUP_DONE, so it is
+    guaranteed to sit in the client connection's frame buffer when
+    ``backup_blocks`` returns — exactly the state that used to poison the
+    next pooled request.
+    """
+
+    def __init__(self):
+        import socket as socket_mod
+
+        self._listener = socket_mod.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        host, port = self._listener.getsockname()
+        self.address = f"{host}:{port}"
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def close(self):
+        self._running = False
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+    def _serve(self):
+        while self._running:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(sock,), daemon=True
+            ).start()
+
+    def _handle(self, sock):
+        from repro.client.protocol import (
+            MAGIC,
+            PROTOCOL_VERSION,
+            FrameDecoder,
+            encode_json,
+        )
+
+        decoder = FrameDecoder()
+        frames = []
+
+        def next_frame():
+            while not frames:
+                data = sock.recv(65536)
+                if not data:
+                    raise ConnectionError("client hung up")
+                frames.extend(decoder.feed(data))
+            return frames.pop(0)
+
+        try:
+            ftype, _payload = next_frame()
+            assert ftype == FrameType.HELLO
+            sock.sendall(
+                encode_json(
+                    FrameType.HELLO_OK,
+                    {"magic": MAGIC, "version": PROTOCOL_VERSION, "window": 64},
+                )
+            )
+            while True:
+                ftype, _payload = next_frame()
+                if ftype == FrameType.BACKUP_BEGIN:
+                    sock.sendall(encode_json(FrameType.CREDIT, {"frames": 64}))
+                    chunks = 0
+                    while True:
+                        ftype, _payload = next_frame()
+                        if ftype == FrameType.BACKUP_END:
+                            break
+                        assert ftype == FrameType.CHUNK_DATA
+                        chunks += 1
+                    report = {
+                        "version_id": 1, "tag": "", "total_chunks": chunks,
+                        "unique_chunks": chunks, "duplicate_chunks": 0,
+                        "logical_bytes": 0, "stored_bytes": 0,
+                    }
+                    # The race, made deterministic: DONE then a stale CREDIT
+                    # in one segment.
+                    sock.sendall(
+                        encode_json(FrameType.BACKUP_DONE, report)
+                        + encode_json(FrameType.CREDIT, {"frames": 1})
+                    )
+                elif ftype == FrameType.STATS:
+                    sock.sendall(
+                        encode_json(FrameType.STATS_OK, {"versions": 1})
+                    )
+                else:
+                    return
+        except (ConnectionError, OSError, AssertionError):
+            pass
+        finally:
+            sock.close()
+
+
+class TestCreditRace:
+    def test_stale_credit_does_not_poison_the_pool(self, tmp_path):
+        """Regression: a CREDIT buffered behind BACKUP_DONE must not be
+        replayed into the next pooled request (pre-fix this fails with
+        ``ProtocolError: expected STATS_OK, got CREDIT``)."""
+        server = _StaleCreditServer()
+        try:
+            # retries=1: a poisoned connection surfaces instead of being
+            # papered over by the idempotent-retry machinery.
+            with RemoteRepository(server.address, "alpha", retries=1) as repo:
+                payload = os.urandom(50_000)
+                report = repo.backup_blocks(
+                    iter([payload]), [("f.bin", len(payload))]
+                )
+                assert report["version_id"] == 1
+                stats = repo.stats()  # pre-fix: ProtocolError here
+                assert stats["versions"] == 1
+        finally:
+            server.close()
+
+    def test_backup_stats_backup_on_pooled_connection(self, tmp_path):
+        """The ISSUE's failing sequence against the real daemon: one pooled
+        RemoteRepository, small credit window, no retries to hide races."""
+        thread = DaemonThread(str(tmp_path / "served"), window=2)
+        address = thread.start()
+        try:
+            with RemoteRepository(address, "alpha", retries=1) as repo:
+                for round_no in range(3):
+                    files = synthetic_files(20 + round_no, count=2, size=120_000)
+                    entries = make_tree(str(tmp_path / f"src{round_no}"), files)
+                    report = repo.backup_tree(entries, tag=f"v{round_no}")
+                    assert report["version_id"] == round_no + 1
+                    assert repo.stats()["versions"] == round_no + 1
+                    assert len(repo.versions()) == round_no + 1
+        finally:
+            thread.stop(drain_timeout=5)
+
+    def test_daemon_sends_nothing_after_backup_done(self, tmp_path):
+        """Server-side half of the fix: once BACKUP_END is received the
+        daemon must stop granting credit, so nothing trails BACKUP_DONE."""
+        from repro.client.protocol import decode_json, encode_data, encode_frame
+
+        thread = DaemonThread(str(tmp_path / "served"), window=2)
+        address = thread.start()
+        conn = None
+        try:
+            conn = Connection(parse_address(address), timeout=5)
+            payload = os.urandom(150_000)
+            conn.send(
+                encode_json(
+                    FrameType.BACKUP_BEGIN,
+                    {"repo": "t", "tag": "", "files": [["f.bin", len(payload)]]},
+                )
+            )
+            credits = 0
+            for start in range(0, len(payload), 8192):
+                while credits <= 0:
+                    ftype, p = conn.recv_frame()
+                    assert ftype == FrameType.CREDIT
+                    credits += decode_json(p)["frames"]
+                conn.send(encode_data(payload[start : start + 8192]))
+                credits -= 1
+            conn.send(encode_frame(FrameType.BACKUP_END))
+            while True:
+                ftype, _p = conn.recv_frame()
+                if ftype == FrameType.CREDIT:
+                    continue
+                assert ftype == FrameType.BACKUP_DONE
+                break
+            time.sleep(0.3)  # let any straggler loop callbacks run
+            conn.sweep()
+            assert not conn.has_buffered()
+        finally:
+            if conn is not None:
+                conn.close()
+            thread.stop(drain_timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Daemon startup failures (regression)
+# ----------------------------------------------------------------------
+class TestDaemonStartup:
+    def test_occupied_port_raises_promptly(self, tmp_path):
+        """Pre-fix: the startup exception died on the daemon thread and
+        callers hung for the full 10 s readiness timeout."""
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            thread = DaemonThread(str(tmp_path / "served"), port=port)
+            started = time.monotonic()
+            with pytest.raises(OSError):
+                thread.start()
+            assert time.monotonic() - started < 5
+            thread.stop()  # must be a safe no-op after a failed start
+        finally:
+            blocker.close()
 
 
 # ----------------------------------------------------------------------
