@@ -1,0 +1,220 @@
+"""Restore throughput: serial vs the prefetching parallel restore (§4.4).
+
+Restores the same fragmented version two ways — ``workers=1`` (the old
+serial read loop) and ``workers=4`` (the prefetching container-reader
+pool) — over a **modelled HDD**: every archival container read sleeps
+``seek + size/transfer`` per the repo's own :class:`~repro.storage.
+io_model.DiskModel` (8 ms seek, 150 MiB/s).  The sleeps release the GIL,
+so the benchmark measures exactly what the prefetch pipeline is for:
+overlapping container-read latency with reassembly and delivery.  On a
+real spinning disk the same overlap comes for free; modelling it keeps
+the result reproducible on CI runners with fast SSD page caches.
+
+Two sections:
+
+* **local** — ``LocalRepository.restore`` straight into a hash;
+* **daemon loopback** — the same repository served by ``DaemonThread``
+  and restored through ``RemoteRepository`` (adds framing + socket).
+
+Both assert byte-identical output across worker counts and a p50
+speedup floor for ``workers=4`` over serial.
+"""
+
+import hashlib
+import random
+import statistics
+import time
+
+import pytest
+
+from common import emit, table
+from repro.client import RemoteRepository
+from repro.repository import LocalRepository, materialize, read_tree
+from repro.server import DaemonThread
+from repro.storage.io_model import DiskModel
+from repro.units import MiB
+
+#: v1 payload: FILES × FILE_SIZE, ~50% compressible (zlib-friendly).
+FILES = 8
+FILE_SIZE = 6 * MiB
+
+#: Rounds per configuration (after one untimed warmup each).
+ROUNDS = 5
+REMOTE_ROUNDS = 3
+
+#: Acceptance floors on the p50 round time, parallel vs serial.
+MIN_SPEEDUP_LOCAL = 1.5
+MIN_SPEEDUP_REMOTE = 1.2
+
+MODEL = DiskModel()
+
+
+def _blob(seed: int, size: int) -> bytes:
+    """~50% compressible payload: each 8 KiB is a doubled 4 KiB random block."""
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < size:
+        block = rng.randbytes(4096)
+        out += block + block
+    return bytes(out[:size])
+
+
+def _write_tree(base, files):
+    import os
+
+    os.makedirs(base, exist_ok=True)
+    for rel, payload in files.items():
+        with open(os.path.join(base, rel), "wb") as handle:
+            handle.write(payload)
+    return read_tree(base)
+
+
+def _add_modeled_latency(store) -> None:
+    """Wrap ``store.containers.read`` with the DiskModel's per-read cost."""
+    inner = store.containers.read
+
+    def modeled_read(cid):
+        container = inner(cid)
+        time.sleep(
+            MODEL.seek_seconds + container.used / MODEL.transfer_bytes_per_second
+        )
+        return container
+
+    store.containers.read = modeled_read
+
+
+def _drain_digest(plan, data) -> "tuple[hashlib._Hash, int]":
+    digest = hashlib.sha256()
+    nbytes = 0
+    for block in data:
+        digest.update(block)
+        nbytes += len(block)
+    return digest.hexdigest(), nbytes
+
+
+def _build_fragmented_repo(root, src):
+    """v1 = the full tree; v2 keeps one file, demoting the rest to archival.
+
+    HiDeStore seals chunks into archival containers only when the *next*
+    backup drops them — restoring v1 afterwards is the paper's fragmented
+    read path: most of the payload comes from archival container files.
+    """
+    files = {f"f{i}.bin": _blob(400 + i, FILE_SIZE) for i in range(FILES)}
+    entries = _write_tree(src, files)
+    repo = LocalRepository(root, compress=True)
+    repo.backup_tree(entries, tag="full")
+    repo.backup_tree([entries[0]], tag="trimmed")
+    return repo, files, entries
+
+
+def _report(title, logical, timings, digests):
+    rows = []
+    p50 = {}
+    for workers in sorted(timings):
+        times = timings[workers]
+        p50[workers] = statistics.median(times)
+        p95 = sorted(times)[max(0, int(len(times) * 0.95) - 1)]
+        rows.append(
+            [
+                f"workers={workers}",
+                f"{logical / p50[workers] / MiB:.0f} MB/s",
+                f"{p50[workers]:.3f}s",
+                f"{p95:.3f}s",
+                f"{p50[min(timings)] / p50[workers]:.2f}x",
+            ]
+        )
+    table(["restore path", "throughput", "p50", "p95", "speedup"], rows, title=title)
+    assert len(set(digests.values())) == 1, (
+        f"restore payloads diverged across worker counts: {digests}"
+    )
+    return p50
+
+
+def test_restore_throughput_local(tmp_path, benchmark):
+    repo, files, _ = _build_fragmented_repo(
+        str(tmp_path / "repo"), str(tmp_path / "src")
+    )
+    _add_modeled_latency(repo._open())
+    logical = sum(len(b) for b in files.values())
+    timings = {1: [], 4: []}
+    digests = {}
+
+    def run_all():
+        for workers in timings:
+            # Warmup round materializes to disk and checks every byte.
+            plan, data = repo.restore(1, workers=workers, verify=True)
+            out = str(tmp_path / f"out-w{workers}")
+            materialize(plan, data, out)
+            restored = {rel: open(path, "rb").read() for rel, path in read_tree(out)}
+            assert restored == files, f"workers={workers} restore not byte-identical"
+            for _ in range(ROUNDS):
+                started = time.perf_counter()
+                plan, data = repo.restore(1, workers=workers, verify=True)
+                digests[workers], nbytes = _drain_digest(plan, data)
+                timings[workers].append(time.perf_counter() - started)
+                assert nbytes == logical
+        return len(timings)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    p50 = _report(
+        f"Parallel restore, local — {logical / MiB:.0f} MB over modelled HDD",
+        logical,
+        timings,
+        digests,
+    )
+    speedup = p50[1] / p50[4]
+    assert speedup >= MIN_SPEEDUP_LOCAL, (
+        f"local parallel restore speedup {speedup:.2f}x "
+        f"below the {MIN_SPEEDUP_LOCAL}x floor"
+    )
+
+
+def test_restore_throughput_daemon_loopback(tmp_path, benchmark):
+    src = str(tmp_path / "src")
+    files = {f"f{i}.bin": _blob(400 + i, FILE_SIZE) for i in range(FILES)}
+    entries = _write_tree(src, files)
+    logical = sum(len(b) for b in files.values())
+    timings = {1: [], 4: []}
+    digests = {}
+
+    thread = DaemonThread(str(tmp_path / "srv"), restore_workers=8)
+    address = thread.start()
+    try:
+        with RemoteRepository(address, "bench") as repo:
+            repo.backup_tree(entries, tag="full")
+            repo.backup_tree([entries[0]], tag="trimmed")
+        # DaemonThread runs in-process: reach the tenant's store directly
+        # and put the modelled HDD behind the daemon's container reads.
+        handle = thread.daemon.registry.get("bench")
+        _add_modeled_latency(handle.repository._open())
+
+        def run_all():
+            with RemoteRepository(address, "bench") as repo:
+                for workers in timings:
+                    plan, data = repo.restore(1, workers=workers, verify=True)
+                    _drain_digest(plan, data)  # warmup
+                    for _ in range(REMOTE_ROUNDS):
+                        started = time.perf_counter()
+                        plan, data = repo.restore(1, workers=workers, verify=True)
+                        digests[workers], nbytes = _drain_digest(plan, data)
+                        timings[workers].append(time.perf_counter() - started)
+                        assert nbytes == logical
+            return len(timings)
+
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
+    finally:
+        thread.stop()
+
+    p50 = _report(
+        f"Parallel restore, daemon loopback — {logical / MiB:.0f} MB "
+        "over modelled HDD",
+        logical,
+        timings,
+        digests,
+    )
+    speedup = p50[1] / p50[4]
+    assert speedup >= MIN_SPEEDUP_REMOTE, (
+        f"loopback parallel restore speedup {speedup:.2f}x "
+        f"below the {MIN_SPEEDUP_REMOTE}x floor"
+    )

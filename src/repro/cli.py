@@ -110,7 +110,19 @@ def cmd_backup(args: argparse.Namespace) -> int:
 def cmd_restore(args: argparse.Namespace) -> int:
     """Materialise a stored version back into a directory."""
     repo = _open_target(args)
-    plan, data = repo.restore(args.version)
+    # Restore knobs run on whichever side executes the restore: locally they
+    # size this process's reader pool, over --remote they ride in
+    # RESTORE_BEGIN and size the server's (clamped to its cap).
+    options = {}
+    if args.workers is not None:
+        options["workers"] = args.workers
+    if args.readahead is not None:
+        options["readahead"] = args.readahead
+    if args.verify:
+        options["verify"] = True
+    if args.file is not None:
+        options["file"] = args.file
+    plan, data = repo.restore(args.version, **options)
     restored = materialize(plan, data, args.target)
     print(f"restored version {args.version}: {restored} files into {args.target}")
     return 0
@@ -254,6 +266,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         history_depth=args.history_depth,
         compress=args.compress,
         drain_timeout=args.drain_timeout,
+        restore_workers=args.restore_workers,
         event_log=event_log,
         metrics_interval=args.metrics_interval,
     )
@@ -393,6 +406,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("repo")
     p.add_argument("version", type=int)
     p.add_argument("target")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="container-reader pool size; >1 prefetches "
+                        "container reads ahead of reassembly (local: this "
+                        "process; --remote: the server, up to its cap)")
+    p.add_argument("--readahead", type=_positive_int, default=None,
+                   help="max container reads in flight (default 2x workers)")
+    p.add_argument("--verify", action="store_true",
+                   help="re-hash every chunk against its recorded "
+                        "fingerprint while restoring")
+    p.add_argument("--file", metavar="REL", default=None,
+                   help="restore only this file from the snapshot (reads "
+                        "just the containers covering it)")
     _add_remote_flag(p)
     p.set_defaults(func=cmd_restore)
 
@@ -432,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="zlib-compress container files of new repositories")
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds in-flight sessions get to finish on shutdown")
+    p.add_argument("--restore-workers", type=_positive_int, default=4,
+                   help="cap (and default) for the per-restore prefetching "
+                        "container-reader pool")
     p.add_argument("--log-json", metavar="PATH|-", default=None,
                    help="write structured JSON-lines events (sessions, "
                         "per-request begin/end with trace IDs) to a file, "

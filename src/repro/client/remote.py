@@ -475,19 +475,40 @@ class RemoteRepository:
     # ------------------------------------------------------------------
     # Restore (idempotent to open; streaming once opened)
     # ------------------------------------------------------------------
-    def restore(self, version_id: int) -> Tuple[FilePlan, Iterator[bytes]]:
-        """A version's file plan plus its reassembled byte stream."""
+    def restore(
+        self,
+        version_id: int,
+        *,
+        workers: Optional[int] = None,
+        readahead: Optional[int] = None,
+        verify: bool = False,
+        file: Optional[str] = None,
+    ) -> Tuple[FilePlan, Iterator[bytes]]:
+        """A version's file plan plus its reassembled byte stream.
+
+        The keyword knobs mirror :meth:`LocalRepository.restore` and ride in
+        the ``RESTORE_BEGIN`` payload: ``workers``/``readahead`` size the
+        server's prefetching container-reader pool (the daemon clamps to its
+        own cap), ``verify`` re-hashes chunks server-side before they hit
+        the wire, ``file`` restores a single manifest-relative file.  Old
+        servers ignore unknown payload keys, so every combination degrades
+        to a plain serial full restore.
+        """
 
         def begin() -> Tuple[Connection, str, dict]:
             conn = self.pool.acquire()
             trace = conn.next_trace()
+            request = {"repo": self.repo, "version": version_id, "trace": trace}
+            if workers is not None:
+                request["workers"] = int(workers)
+            if readahead is not None:
+                request["readahead"] = int(readahead)
+            if verify:
+                request["verify"] = True
+            if file is not None:
+                request["file"] = file
             try:
-                conn.send(
-                    encode_json(
-                        FrameType.RESTORE_BEGIN,
-                        {"repo": self.repo, "version": version_id, "trace": trace},
-                    )
-                )
+                conn.send(encode_json(FrameType.RESTORE_BEGIN, request))
                 ftype, payload = conn.recv_frame()
                 if ftype == FrameType.ERROR:
                     raise_remote_error(payload)

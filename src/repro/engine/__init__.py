@@ -12,6 +12,7 @@ detach onto a write-behind thread (:class:`WriteBehindContainerStore`).
 from .ingest import PipelinedIngestEngine, build_engine
 from .maintenance import MaintenanceExecutor
 from .pipeline import LazyBackupStream, ParallelChunkPipeline
+from .restore import PipelinedRestoreEngine, execute_plan_prefetched, restore_stream
 from .writer import WriteBehindContainerStore, install_write_behind
 
 __all__ = [
@@ -19,7 +20,10 @@ __all__ = [
     "MaintenanceExecutor",
     "ParallelChunkPipeline",
     "PipelinedIngestEngine",
+    "PipelinedRestoreEngine",
     "WriteBehindContainerStore",
     "build_engine",
+    "execute_plan_prefetched",
     "install_write_behind",
+    "restore_stream",
 ]

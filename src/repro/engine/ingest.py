@@ -142,6 +142,22 @@ class PipelinedIngestEngine:
         self.join()
         return self.system.restore_entry_range(version_id, start, stop, restorer, flatten)
 
+    def resolved_restore_range(
+        self,
+        version_id: int,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        flatten: bool = True,
+    ) -> List[RecipeEntry]:
+        self.join()
+        return self.system.resolved_restore_range(version_id, start, stop, flatten)
+
+    def restore_scheduler(self, restorer: Optional[RestoreAlgorithm] = None):
+        return self.system.restore_scheduler(restorer)
+
+    def _read_container(self, cid: int):
+        return self.system._read_container(cid)
+
     def delete_oldest(self):
         self.join()
         return self.system.delete_oldest()

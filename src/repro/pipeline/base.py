@@ -28,8 +28,10 @@ from ..chunking.stream import BackupStream, Chunk
 from ..errors import VersionNotFoundError
 from ..reports import BackupReport, SystemReport
 from ..restore.base import RestoreAlgorithm, RestoreResult
+from ..restore.scheduler import scheduler_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..restore.scheduler import RestoreScheduler
     from ..storage.container import Container
     from ..storage.recipe import RecipeEntry
 
@@ -113,6 +115,41 @@ class RestoreMixin:
         return self.containers.read(cid)
 
     # ------------------------------------------------------------------
+    def resolved_restore_range(
+        self,
+        version_id: int,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        flatten: bool = True,
+    ) -> "List[RecipeEntry]":
+        """Prepare the store and resolve a version's entries for restoring.
+
+        The one entry-resolution path every restore flavour shares: full
+        restores (``start is None``), partial entry-range restores, the
+        serial algorithm layer and the pipelined engine all come through
+        here, so maintenance draining / chain flattening / active-chunk
+        resolution happen identically everywhere.
+        """
+        if version_id not in self.recipes:
+            raise VersionNotFoundError(f"no backup version {version_id}")
+        self._prepare_restore(flatten)
+        recipe = self.recipes.read(version_id)
+        rows = recipe.entries if start is None else recipe.entries[start:stop]
+        return self._resolve_restore_entries(list(rows), version_id)
+
+    def restore_scheduler(
+        self, restorer: Optional[RestoreAlgorithm] = None
+    ) -> "RestoreScheduler":
+        """The restore plan scheduler for this engine's (or the given) policy.
+
+        This is the hook the pipelined restore engine calls: the returned
+        scheduler turns :meth:`resolved_restore_range` output into an
+        ordered container-read plan that a prefetching executor can run —
+        with exactly the read sequence the serial algorithm would issue.
+        """
+        algorithm = restorer if restorer is not None else self.restorer
+        return scheduler_for(algorithm)
+
     def restore_chunks(
         self,
         version_id: int,
@@ -120,11 +157,7 @@ class RestoreMixin:
         flatten: bool = True,
     ) -> Iterator[Chunk]:
         """Stream a stored version's chunks in original order."""
-        if version_id not in self.recipes:
-            raise VersionNotFoundError(f"no backup version {version_id}")
-        self._prepare_restore(flatten)
-        recipe = self.recipes.read(version_id)
-        entries = self._resolve_restore_entries(list(recipe.entries), version_id)
+        entries = self.resolved_restore_range(version_id, flatten=flatten)
         algorithm = restorer if restorer is not None else self.restorer
         return algorithm.restore(entries, self._read_container)
 
@@ -141,13 +174,7 @@ class RestoreMixin:
         Used for partial restores (e.g. one file out of a snapshot): only
         the containers covering entries ``[start, stop)`` are read.
         """
-        if version_id not in self.recipes:
-            raise VersionNotFoundError(f"no backup version {version_id}")
-        self._prepare_restore(flatten)
-        recipe = self.recipes.read(version_id)
-        entries = self._resolve_restore_entries(
-            list(recipe.entries[start:stop]), version_id
-        )
+        entries = self.resolved_restore_range(version_id, start, stop, flatten)
         algorithm = restorer if restorer is not None else self.restorer
         return algorithm.restore(entries, self._read_container)
 

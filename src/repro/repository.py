@@ -142,29 +142,51 @@ def materialize(plan: FilePlan, data: Iterable[bytes], target: str) -> int:
     ``plan`` carries the file boundaries (name + length, concatenation
     order); ``data`` yields the reassembled stream in arbitrary block
     sizes.  Returns the number of files written.
+
+    Writes stream: each block is appended to the current file as it
+    arrives, so peak memory is one incoming block (plus the partial block
+    straddling a file boundary) regardless of file size.  Files are
+    written to ``<name>.part`` and renamed into place only once complete —
+    a restore that dies mid-stream leaves no truncated files posing as
+    good ones, and the ``.part`` litter of the failed file is removed.
     """
     root = os.path.abspath(target)
     os.makedirs(root, exist_ok=True)
     blocks = iter(data)
-    buffer = bytearray()
+    #: Tail of the last block that belongs to the *next* file.
+    leftover = b""
     restored = 0
     for rel, size in plan:
         validate_rel_name(rel)
         out_path = os.path.join(root, rel)
         if os.path.commonpath([root, os.path.abspath(out_path)]) != root:
             raise RestoreError(f"restore path escapes target directory: {rel!r}")
-        while len(buffer) < size:
-            try:
-                buffer.extend(next(blocks))
-            except StopIteration:
-                raise RestoreError(
-                    f"restore stream ended early: {rel} needs {size} bytes, "
-                    f"got {len(buffer)}"
-                ) from None
         os.makedirs(os.path.dirname(out_path) or root, exist_ok=True)
-        with open(out_path, "wb") as handle:
-            handle.write(bytes(buffer[:size]))
-        del buffer[:size]
+        part_path = out_path + ".part"
+        written = 0
+        try:
+            with open(part_path, "wb") as handle:
+                while written < size:
+                    if not leftover:
+                        try:
+                            leftover = next(blocks)
+                        except StopIteration:
+                            raise RestoreError(
+                                f"restore stream ended early: {rel} needs "
+                                f"{size} bytes, got {written}"
+                            ) from None
+                        continue
+                    take = min(size - written, len(leftover))
+                    handle.write(leftover[:take])
+                    written += take
+                    leftover = leftover[take:]
+            os.replace(part_path, out_path)
+        except BaseException:
+            try:
+                os.remove(part_path)
+            except OSError:
+                pass
+            raise
         restored += 1
     return restored
 
@@ -417,20 +439,103 @@ class LocalRepository:
                 plan.append((rel, int(size_str)))
         return plan
 
-    def restore(self, version_id: int) -> Tuple[FilePlan, Iterator[bytes]]:
-        """A version's file plan plus its reassembled byte stream."""
+    def restore(
+        self,
+        version_id: int,
+        *,
+        workers: int = 1,
+        readahead: Optional[int] = None,
+        verify: bool = False,
+        file: Optional[str] = None,
+    ) -> Tuple[FilePlan, Iterator[bytes]]:
+        """A version's file plan plus its reassembled byte stream.
+
+        Args:
+            workers: container-reader pool size; ``1`` restores serially,
+                ``>1`` prefetches container reads through the pipelined
+                engine (:func:`repro.engine.restore.restore_stream`).
+            readahead: in-flight container-read cap (default 2×workers).
+            verify: re-hash every chunk against its recipe fingerprint;
+                a mismatch raises :class:`~repro.errors.RestoreError`.
+            file: restore only this manifest-relative file — only the
+                containers covering its entry range are read.
+        """
+        from .engine.restore import restore_stream
+
         store = self._open()
         plan = self.restore_plan(version_id)
+        start = stop = None
+        head_skip = 0
+        length: Optional[int] = None
+        if file is not None:
+            plan, start, stop, head_skip, length = self._partial_spec(
+                store, version_id, plan, file
+            )
 
         def data() -> Iterator[bytes]:
             started = time.perf_counter()
-            for chunk in store.restore_chunks(version_id):
+            skip, remaining = head_skip, length
+            for chunk in restore_stream(
+                store, version_id,
+                workers=workers, readahead=readahead, verify=verify,
+                start=start, stop=stop, metrics=self.metrics,
+            ):
                 if chunk.data is None:
                     raise ReproError("repository chunk carries no payload")
-                yield chunk.data
+                block = chunk.data
+                if skip:
+                    take = min(skip, len(block))
+                    block = block[take:]
+                    skip -= take
+                    if not block:
+                        continue
+                if remaining is not None:
+                    if remaining <= 0:
+                        break
+                    block = block[:remaining]
+                    remaining -= len(block)
+                yield block
             self.metrics.observe("repo.restore_seconds", time.perf_counter() - started)
 
         return plan, data()
+
+    def _partial_spec(
+        self, store: HiDeStore, version_id: int, plan: FilePlan, rel: str
+    ) -> Tuple[FilePlan, int, int, int, int]:
+        """Locate one file inside a version's chunk stream.
+
+        Returns the single-file plan plus the entry range ``[start, stop)``
+        covering the file's bytes, the byte offset of the file within the
+        first entry (``head_skip``) and the file length.  Offsets come from
+        the manifest (files concatenate in manifest order); entry sizes are
+        chain-invariant, so the range computed from the un-flattened recipe
+        stays valid after Algorithm 1 runs.
+        """
+        offset = 0
+        size: Optional[int] = None
+        for name, file_size in plan:
+            if name == rel:
+                size = file_size
+                break
+            offset += file_size
+        if size is None:
+            raise VersionNotFoundError(
+                f"no file {rel!r} in version {version_id}"
+            )
+        sizes = [entry.size for entry in store.recipes.peek(version_id).entries]
+        start = stop = len(sizes)
+        position = 0
+        for i, entry_size in enumerate(sizes):
+            if position + entry_size > offset and start == len(sizes):
+                start = i
+            if position >= offset + size:
+                stop = i
+                break
+            position += entry_size
+        if size == 0:
+            start = stop = 0
+        head_skip = offset - sum(sizes[:start])
+        return [(rel, size)], start, stop, head_skip, size
 
     # ------------------------------------------------------------------
     # Introspection + deletion

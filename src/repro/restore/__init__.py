@@ -12,20 +12,36 @@ from .container_cache import ContainerCacheRestore
 from .faa import FAARestore
 from .hotset import HotSetRestore
 from .optimal import OptimalContainerCacheRestore
+from .scheduler import (
+    ContainerRead,
+    FAAScheduler,
+    PlanSpan,
+    RestoreScheduler,
+    SimulatedScheduler,
+    execute_plan,
+    scheduler_for,
+)
 from .verified import VerifyingRestore
 
 __all__ = [
     "ALACCRestore",
     "ChunkCacheRestore",
     "ContainerCacheRestore",
+    "ContainerRead",
     "ContainerReader",
     "FAARestore",
+    "FAAScheduler",
     "HotSetRestore",
     "OptimalContainerCacheRestore",
+    "PlanSpan",
+    "RestoreScheduler",
+    "SimulatedScheduler",
     "VerifyingRestore",
     "RestoreAlgorithm",
     "RestoreResult",
+    "execute_plan",
     "make_restorer",
+    "scheduler_for",
 ]
 
 _RESTORERS = {

@@ -6,17 +6,24 @@ byte range of the area, then read each required container **exactly once**
 (in first-need order), copying every chunk it supplies anywhere in the area.
 Because the recipe is known in advance, FAA never re-reads a container for
 the same area and needs no eviction policy at all.
+
+FAA is scheduler-native: the planning half lives in
+:class:`~repro.restore.scheduler.FAAScheduler` and this class merely
+executes the plan serially against the billed reader — which is how the
+same policy also drives the pipelined real-path executor in
+:mod:`repro.engine.restore` without a second implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence
+from typing import Iterator, Sequence
 
 from ..chunking.stream import Chunk
 from ..errors import RestoreError
 from ..storage.recipe import RecipeEntry
 from ..units import MiB
 from .base import ContainerReader, RestoreAlgorithm
+from .scheduler import FAAScheduler, RestoreScheduler, execute_plan
 
 
 class FAARestore(RestoreAlgorithm):
@@ -34,39 +41,11 @@ class FAARestore(RestoreAlgorithm):
             raise RestoreError("area_bytes must be positive")
         self.area_bytes = area_bytes
 
-    def _spans(self, entries: Sequence[RecipeEntry]) -> Iterator[List[int]]:
-        """Partition entry indices into assembly-area-sized spans."""
-        span: List[int] = []
-        used = 0
-        for i, entry in enumerate(entries):
-            if used + entry.size > self.area_bytes and span:
-                yield span
-                span = []
-                used = 0
-            span.append(i)
-            used += entry.size
-        if span:
-            yield span
+    def scheduler(self) -> RestoreScheduler:
+        return FAAScheduler(self.area_bytes)
 
     def restore(
         self, entries: Sequence[RecipeEntry], reader: ContainerReader
     ) -> Iterator[Chunk]:
         self._check_positive_cids(entries)
-        for span in self._spans(entries):
-            # Plan: which slots need which container, in first-need order.
-            needed: Dict[int, List[int]] = {}
-            order: List[int] = []
-            for i in span:
-                cid = entries[i].cid
-                if cid not in needed:
-                    needed[cid] = []
-                    order.append(cid)
-                needed[cid].append(i)
-            # Fill: one read per container, populate all its slots.
-            assembled: Dict[int, Chunk] = {}
-            for cid in order:
-                container = reader(cid)
-                for i in needed[cid]:
-                    assembled[i] = container.get_chunk(entries[i].fingerprint)
-            for i in span:
-                yield assembled[i]
+        return execute_plan(entries, self.scheduler().plan(entries), reader)

@@ -1,0 +1,277 @@
+"""Restore schedulers: the planning layer under every restore path.
+
+A :class:`RestoreScheduler` turns a fully resolved recipe (positive
+container IDs) into an ordered *plan*: which containers to read, in what
+order, which recipe slots each read must serve, and when each slot is
+emitted.  The plan separates **policy** (cache/assembly decisions — the
+entire subject of the paper's §4.4 comparison) from **execution** (how the
+container bytes are actually fetched), so one policy drives both worlds:
+
+* the simulation layer executes a plan serially against the billed reader
+  (:func:`execute_plan`) — container-read counts, and therefore speed
+  factor, are exactly those of the classic algorithm implementations;
+* the real byte-serving path executes the *same* plan with a prefetching
+  reader pool (:mod:`repro.engine.restore`), overlapping container I/O
+  with reassembly and socket writes.
+
+Plans are streams of :class:`PlanSpan` steps.  Within a span, every listed
+read happens before any listed emit; a read's ``slots`` name all entry
+indices that must be copied out of that read — including indices emitted by
+*later* spans (that is how cache retention is expressed: the chunk is held
+in the assembly buffer from read until emission).
+
+Plan invariants (checked by the executors as they go):
+
+* emitted indices are strictly increasing across the whole plan and cover
+  ``range(len(entries))`` exactly once;
+* every index appears in exactly one read's ``slots``, and that read's
+  span is no later than the index's emitting span.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Tuple
+
+from ..chunking.stream import Chunk
+from ..errors import RestoreError
+from ..storage.container import Container
+from ..storage.recipe import RecipeEntry
+from ..units import MiB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import ContainerReader, RestoreAlgorithm
+
+
+@dataclass(frozen=True)
+class ContainerRead:
+    """One billed container fetch and the recipe slots it must serve."""
+
+    cid: int
+    slots: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PlanSpan:
+    """One plan step: perform ``reads``, then emit ``emit`` in order."""
+
+    emit: Tuple[int, ...]
+    reads: Tuple[ContainerRead, ...] = ()
+
+
+class RestoreScheduler(ABC):
+    """Turns resolved recipe entries into an ordered restore plan."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def plan(self, entries: Sequence[RecipeEntry]) -> Iterator[PlanSpan]:
+        """Yield the plan for restoring ``entries`` in recipe order."""
+
+
+class FAAScheduler(RestoreScheduler):
+    """Forward-assembly-area planning (Lillibridge et al., FAST'13).
+
+    The recipe is partitioned into M-byte assembly areas; per area, each
+    distinct container is read exactly once, in first-need order, and every
+    slot it supplies anywhere in the area is copied out of that one read.
+    This is the planning half of :class:`~repro.restore.faa.FAARestore`;
+    the read sequence is identical to the classic implementation.
+    """
+
+    name = "faa"
+
+    def __init__(self, area_bytes: int = 256 * MiB) -> None:
+        if area_bytes <= 0:
+            raise RestoreError("area_bytes must be positive")
+        self.area_bytes = area_bytes
+
+    def _spans(self, entries: Sequence[RecipeEntry]) -> Iterator[List[int]]:
+        """Partition entry indices into assembly-area-sized spans."""
+        span: List[int] = []
+        used = 0
+        for i, entry in enumerate(entries):
+            if used + entry.size > self.area_bytes and span:
+                yield span
+                span = []
+                used = 0
+            span.append(i)
+            used += entry.size
+        if span:
+            yield span
+
+    def plan(self, entries: Sequence[RecipeEntry]) -> Iterator[PlanSpan]:
+        for span in self._spans(entries):
+            needed: Dict[int, List[int]] = {}
+            order: List[int] = []
+            for i in span:
+                cid = entries[i].cid
+                if cid not in needed:
+                    needed[cid] = []
+                    order.append(cid)
+                needed[cid].append(i)
+            yield PlanSpan(
+                emit=tuple(span),
+                reads=tuple(ContainerRead(cid, tuple(needed[cid])) for cid in order),
+            )
+
+
+class SimulatedScheduler(RestoreScheduler):
+    """Derive a plan by dry-running any :class:`RestoreAlgorithm`.
+
+    The algorithm is executed once against *synthetic* containers built
+    purely from the recipe's (fingerprint, size, cid) rows — no real
+    container is touched and nothing is billed.  The recorded interleaving
+    of reads and emissions compiles into a plan whose billed read sequence
+    matches what the algorithm itself would have issued, so any cache
+    policy (LRU, ALACC, hot-set, Belady) drives the real prefetching path
+    without a parallel implementation.
+
+    Caveat: policies that exploit chunks a real container holds *beyond*
+    this recipe's references (possible when rewriting stores duplicate
+    copies) cannot see them here; against a deduplicated store — where each
+    fingerprint lives in exactly one container — the derived plan is exact.
+    """
+
+    name = "simulated"
+
+    def __init__(self, algorithm: "RestoreAlgorithm") -> None:
+        self.algorithm = algorithm
+
+    def _fake_containers(self, entries: Sequence[RecipeEntry]) -> Dict[int, Container]:
+        sizes: Dict[int, int] = {}
+        members: Dict[int, Dict[bytes, int]] = {}
+        for entry in entries:
+            group = members.setdefault(entry.cid, {})
+            if entry.fingerprint not in group:
+                group[entry.fingerprint] = entry.size
+                sizes[entry.cid] = sizes.get(entry.cid, 0) + entry.size
+        fakes: Dict[int, Container] = {}
+        for cid, group in members.items():
+            container = Container(cid, capacity=max(1, sizes[cid]))
+            for fp, size in group.items():
+                container.add(Chunk(fp, size))
+            fakes[cid] = container
+        return fakes
+
+    def plan(self, entries: Sequence[RecipeEntry]) -> Iterator[PlanSpan]:
+        entries = list(entries)
+        if not entries:
+            return iter(())
+        fakes = self._fake_containers(entries)
+        # ops: ("read", cid) / ("emit", index), in the algorithm's order.
+        ops: List[Tuple[str, int]] = []
+
+        def recording_reader(cid: int) -> Container:
+            ops.append(("read", cid))
+            try:
+                return fakes[cid]
+            except KeyError:
+                raise RestoreError(
+                    f"algorithm {self.algorithm.name!r} read container {cid}, "
+                    "which no recipe entry references"
+                ) from None
+
+        index = 0
+        for chunk in self.algorithm.restore(entries, recording_reader):
+            if chunk.fingerprint != entries[index].fingerprint:
+                raise RestoreError(
+                    f"algorithm {self.algorithm.name!r} emitted chunk "
+                    f"{chunk.short_fp()} out of recipe order at slot {index}"
+                )
+            ops.append(("emit", index))
+            index += 1
+        if index != len(entries):
+            raise RestoreError(
+                f"algorithm {self.algorithm.name!r} emitted {index} of "
+                f"{len(entries)} chunks"
+            )
+        return iter(self._compile(entries, ops))
+
+    def _compile(
+        self, entries: Sequence[RecipeEntry], ops: List[Tuple[str, int]]
+    ) -> List[PlanSpan]:
+        # Positions of every read, per container, for serving-read lookup.
+        read_pos: Dict[int, List[int]] = {}
+        for pos, (kind, value) in enumerate(ops):
+            if kind == "read":
+                read_pos.setdefault(value, []).append(pos)
+        # Each emission is served by the latest read of its container that
+        # precedes it (cache hits are "served early, held until emitted").
+        slots: Dict[int, List[int]] = {}  # op position of read -> indices
+        extra_reads: Dict[int, List[int]] = {}  # emit op position -> indices
+        for pos, (kind, index) in enumerate(ops):
+            if kind != "emit":
+                continue
+            cid = entries[index].cid
+            positions = read_pos.get(cid, [])
+            at = bisect_right(positions, pos) - 1
+            if at < 0:
+                # The algorithm served this slot without ever reading its
+                # container (a cross-container chunk-cache hit, only possible
+                # with duplicate stored copies).  Schedule a direct read so
+                # the real path stays correct; this bills one extra read.
+                extra_reads.setdefault(pos, []).append(index)
+            else:
+                slots.setdefault(positions[at], []).append(index)
+        # Group into spans: runs of reads, then the emits up to the next read.
+        spans: List[PlanSpan] = []
+        reads: List[ContainerRead] = []
+        emits: List[int] = []
+
+        def flush() -> None:
+            if reads or emits:
+                spans.append(PlanSpan(emit=tuple(emits), reads=tuple(reads)))
+
+        for pos, (kind, value) in enumerate(ops):
+            if kind == "read":
+                if emits:
+                    flush()
+                    reads, emits = [], []
+                # Zero-slot reads (e.g. a look-ahead fetch whose parked
+                # chunks all get re-served later) stay in the plan: the
+                # algorithm billed them, so the plan must too.
+                reads.append(ContainerRead(value, tuple(slots.get(pos, ()))))
+            else:
+                for index in extra_reads.get(pos, ()):
+                    reads.append(ContainerRead(entries[index].cid, (index,)))
+                emits.append(value)
+        flush()
+        return spans
+
+
+def execute_plan(
+    entries: Sequence[RecipeEntry],
+    plan: Iterator[PlanSpan],
+    reader: "ContainerReader",
+) -> Iterator[Chunk]:
+    """Serial reference executor: one billed read per :class:`ContainerRead`.
+
+    This is the simulation/algorithm-layer execution of a plan; the
+    pipelined twin with a prefetching reader pool lives in
+    :mod:`repro.engine.restore`.
+    """
+    pending: Dict[int, Chunk] = {}
+    for span in plan:
+        for read in span.reads:
+            container = reader(read.cid)
+            for i in read.slots:
+                pending[i] = container.get_chunk(entries[i].fingerprint)
+        for i in span.emit:
+            try:
+                yield pending.pop(i)
+            except KeyError:
+                raise RestoreError(
+                    f"restore plan emitted slot {i} before any read served it"
+                ) from None
+
+
+def scheduler_for(algorithm: "RestoreAlgorithm") -> RestoreScheduler:
+    """The scheduler driving ``algorithm``'s policy on the real path.
+
+    Scheduler-native algorithms (FAA) expose their planner directly;
+    anything else is wrapped in a :class:`SimulatedScheduler`.
+    """
+    return algorithm.scheduler()

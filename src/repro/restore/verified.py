@@ -45,6 +45,17 @@ class VerifyingRestore(RestoreAlgorithm):
         self.chunks_verified = 0
         self.chunks_unverifiable = 0
 
+    def scheduler(self):
+        """Plan with the wrapped policy; verification is not a plan concern.
+
+        On the real path, re-hashing is requested through the executor's
+        ``verify`` switch (:func:`repro.engine.restore.restore_stream`),
+        which runs the same check with payloads present — simulating the
+        decorator over payload-free synthetic containers would verify
+        nothing.
+        """
+        return self.inner.scheduler()
+
     def restore(
         self, entries: Sequence[RecipeEntry], reader: ContainerReader
     ) -> Iterator[Chunk]:

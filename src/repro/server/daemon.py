@@ -28,6 +28,7 @@ import time
 from typing import Dict, Optional, Set, Tuple
 
 from ..client.protocol import (
+    DATA_BLOCK,
     DEFAULT_WINDOW,
     HEADER_SIZE,
     MAGIC,
@@ -337,13 +338,40 @@ class _Session:
     # ------------------------------------------------------------------
     # Restore
     # ------------------------------------------------------------------
+    def _restore_options(self, obj: dict) -> dict:
+        """Vet the client's restore knobs against the daemon's limits.
+
+        Unknown keys are ignored (old clients), requested parallelism is
+        clamped to the operator's ``restore_workers`` cap, and the partial
+        ``file`` name gets the same traversal vetting as backup plans.
+        """
+        cap = self.daemon.restore_workers
+        requested = obj.get("workers")
+        workers = cap if requested is None else max(1, min(int(requested), cap))
+        readahead = obj.get("readahead")
+        if readahead is not None:
+            readahead = max(1, min(int(readahead), 64))
+        rel = obj.get("file")
+        if rel is not None:
+            rel = validate_rel_name(str(rel))
+        return {
+            "workers": workers,
+            "readahead": readahead,
+            "verify": bool(obj.get("verify", False)),
+            "file": rel,
+        }
+
     async def _handle_restore(self, obj: dict) -> None:
         handle = self.daemon.registry.get(obj.get("repo"))
         version = int(obj.get("version", 0))
+        options = self._restore_options(obj)
+        metrics = self.daemon.metrics
         async with handle.lock.read_locked():
             handle.active_ops += 1
             try:
-                plan, data = await asyncio.to_thread(handle.repository.restore, version)
+                plan, data = await asyncio.to_thread(
+                    lambda: handle.repository.restore(version, **options)
+                )
                 self.writer.write(
                     encode_json(
                         FrameType.RESTORE_META,
@@ -353,16 +381,35 @@ class _Session:
                 await self.writer.drain()
                 sent_chunks = 0
                 sent_bytes = 0
+                send_seconds = 0.0
+                # Coalesce chunk-sized blobs into ~DATA_BLOCK frames so the
+                # wire carries a few large DATA frames per window instead of
+                # one frame per 8 KiB chunk (frame headers + drain round
+                # trips were dominating small-chunk restores).
+                pending_out = bytearray()
+
+                async def flush() -> None:
+                    nonlocal send_seconds, sent_bytes
+                    if not pending_out:
+                        return
+                    mark = time.perf_counter()
+                    self.writer.write(encode_data(bytes(pending_out)))
+                    sent_bytes += len(pending_out)
+                    pending_out.clear()
+                    await self.writer.drain()  # TCP backpressure for the stream
+                    send_seconds += time.perf_counter() - mark
+
                 iterator = iter(data)
                 while True:
                     batch = await asyncio.to_thread(_pull_batch, iterator, _RESTORE_BATCH)
                     for blob in batch:
-                        self.writer.write(encode_data(blob))
                         sent_chunks += 1
-                        sent_bytes += len(blob)
-                    await self.writer.drain()  # TCP backpressure for the stream
+                        pending_out.extend(blob)
+                        if len(pending_out) >= DATA_BLOCK:
+                            await flush()
                     if len(batch) < _RESTORE_BATCH:
                         break
+                await flush()
                 self.writer.write(
                     encode_json(
                         FrameType.RESTORE_END,
@@ -370,8 +417,9 @@ class _Session:
                     )
                 )
                 await self.writer.drain()
+                metrics.observe("restore.send_seconds", send_seconds)
                 handle.note_restore(sent_bytes)
-                self.daemon.metrics.inc("server.restore_bytes", sent_bytes)
+                metrics.inc("server.restore_bytes", sent_bytes)
                 self.daemon.note_session("restore")
             finally:
                 handle.active_ops -= 1
@@ -431,6 +479,9 @@ class BackupDaemon:
         host / port: listen address (port 0 picks a free port; see
             :attr:`address` after :meth:`start`).
         window: ingest credit window, in CHUNK_DATA frames per backup.
+        restore_workers: server-side cap (and default) for the restore
+            container-reader pool; clients may request fewer via
+            ``RESTORE_BEGIN`` but never more.
         history_depth / compress: forwarded to newly created repositories.
         drain_timeout: seconds in-flight sessions get to finish on
             :meth:`shutdown` before being cancelled into rollback.
@@ -451,12 +502,15 @@ class BackupDaemon:
         history_depth: int = 1,
         compress: bool = False,
         drain_timeout: float = 10.0,
+        restore_workers: int = 4,
         metrics: Optional[MetricsRegistry] = None,
         event_log: Optional[EventLogger] = None,
         metrics_interval: float = 0.0,
     ) -> None:
         if window < 1:
             raise ReproError("credit window must be at least 1 frame")
+        if restore_workers < 1:
+            raise ReproError("restore_workers must be at least 1")
         self.metrics = metrics if metrics is not None else get_registry()
         # Hosted repositories record their stage timings (chunking, dedup,
         # container I/O) into the daemon's registry, so STATS metrics tell
@@ -465,6 +519,7 @@ class BackupDaemon:
         self.host = host
         self.port = port
         self.window = window
+        self.restore_workers = restore_workers
         self.drain_timeout = drain_timeout
         self.events = event_log if event_log is not None else EventLogger()
         self.metrics_interval = metrics_interval

@@ -9,6 +9,7 @@ who want a feel for absolute numbers (HDD-ish defaults).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..units import MiB
@@ -16,7 +17,12 @@ from ..units import MiB
 
 @dataclass
 class IOStats:
-    """Mutable ledger of simulated device traffic."""
+    """Mutable ledger of simulated device traffic.
+
+    Increments are lock-protected: the pipelined restore engine bills
+    container reads from multiple worker threads, and an unguarded
+    ``+= 1`` is a read-modify-write that can drop updates.
+    """
 
     container_reads: int = 0
     container_writes: int = 0
@@ -25,37 +31,46 @@ class IOStats:
     recipe_reads: int = 0
     recipe_writes: int = 0
     index_lookups: int = 0  # on-disk full-index probes (Fig. 9 metric)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def note_container_read(self, nbytes: int) -> None:
-        self.container_reads += 1
-        self.bytes_read += nbytes
+        with self._lock:
+            self.container_reads += 1
+            self.bytes_read += nbytes
 
     def note_container_write(self, nbytes: int) -> None:
-        self.container_writes += 1
-        self.bytes_written += nbytes
+        with self._lock:
+            self.container_writes += 1
+            self.bytes_written += nbytes
 
     def note_recipe_read(self, nbytes: int = 0) -> None:
-        self.recipe_reads += 1
-        self.bytes_read += nbytes
+        with self._lock:
+            self.recipe_reads += 1
+            self.bytes_read += nbytes
 
     def note_recipe_write(self, nbytes: int = 0) -> None:
-        self.recipe_writes += 1
-        self.bytes_written += nbytes
+        with self._lock:
+            self.recipe_writes += 1
+            self.bytes_written += nbytes
 
     def note_index_lookup(self, count: int = 1) -> None:
-        self.index_lookups += count
+        with self._lock:
+            self.index_lookups += count
 
     def snapshot(self) -> "IOStats":
         """Copy the current counters (e.g. before a restore, to diff after)."""
-        return IOStats(
-            container_reads=self.container_reads,
-            container_writes=self.container_writes,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-            recipe_reads=self.recipe_reads,
-            recipe_writes=self.recipe_writes,
-            index_lookups=self.index_lookups,
-        )
+        with self._lock:
+            return IOStats(
+                container_reads=self.container_reads,
+                container_writes=self.container_writes,
+                bytes_read=self.bytes_read,
+                bytes_written=self.bytes_written,
+                recipe_reads=self.recipe_reads,
+                recipe_writes=self.recipe_writes,
+                index_lookups=self.index_lookups,
+            )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
