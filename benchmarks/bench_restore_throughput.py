@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from common import emit, table
+from common import emit, table, write_bench_json
 from repro.client import RemoteRepository
 from repro.repository import LocalRepository, materialize, read_tree
 from repro.server import DaemonThread
@@ -164,6 +164,16 @@ def test_restore_throughput_local(tmp_path, benchmark):
         digests,
     )
     speedup = p50[1] / p50[4]
+    write_bench_json(
+        "restore_throughput_local",
+        {
+            "logical_bytes": logical,
+            "rounds": ROUNDS,
+            "p50_seconds": {f"workers={w}": p50[w] for w in p50},
+            "speedup_p50": speedup,
+            "min_speedup_floor": MIN_SPEEDUP_LOCAL,
+        },
+    )
     assert speedup >= MIN_SPEEDUP_LOCAL, (
         f"local parallel restore speedup {speedup:.2f}x "
         f"below the {MIN_SPEEDUP_LOCAL}x floor"
@@ -214,6 +224,16 @@ def test_restore_throughput_daemon_loopback(tmp_path, benchmark):
         digests,
     )
     speedup = p50[1] / p50[4]
+    write_bench_json(
+        "restore_throughput_daemon",
+        {
+            "logical_bytes": logical,
+            "rounds": REMOTE_ROUNDS,
+            "p50_seconds": {f"workers={w}": p50[w] for w in p50},
+            "speedup_p50": speedup,
+            "min_speedup_floor": MIN_SPEEDUP_REMOTE,
+        },
+    )
     assert speedup >= MIN_SPEEDUP_REMOTE, (
         f"loopback parallel restore speedup {speedup:.2f}x "
         f"below the {MIN_SPEEDUP_REMOTE}x floor"

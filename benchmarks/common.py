@@ -11,6 +11,8 @@ schemes*, not absolute values.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from typing import Dict, Iterable, List
 
@@ -37,6 +39,24 @@ def emit(text: str = "") -> None:
     """Record a result line for the end-of-run report (and try stdout)."""
     EMITTED.append(text)
     print(text, flush=True)
+
+
+def write_bench_json(name: str, doc: Dict) -> str:
+    """Persist one benchmark's results as machine-readable JSON.
+
+    Writes ``BENCH_<name>.json`` into ``$BENCH_RESULTS_DIR`` (default:
+    current directory) so CI can upload the numbers as artifacts and
+    trend them across runs instead of scraping terminal tables.
+    Returns the path written.
+    """
+    out_dir = os.environ.get("BENCH_RESULTS_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(f"[bench-json] {os.path.abspath(path)}")
+    return path
 
 
 def scheme_config(name: str) -> Dict:

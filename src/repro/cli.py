@@ -10,7 +10,13 @@ Commands:
 * ``hidestore stats <repo> [--detail]`` — dedup ratio, container counts,
   sizes, optional per-version fragmentation table.
 * ``hidestore delete-oldest <repo>`` — expire the oldest version (GC-free).
-* ``hidestore verify <repo>`` — integrity-check every chunk reference.
+* ``hidestore verify <repo> [--deep] [--remote HOST:PORT]`` —
+  integrity-check every chunk reference (``--deep`` re-hashes payloads);
+  non-zero exit on any failure.
+* ``hidestore replicate <repo> <target> [--remote HOST:PORT]`` —
+  incrementally mirror a repository to a directory or a mirror daemon.
+* ``hidestore repair <repo> --from MIRROR [--remote HOST:PORT]`` —
+  re-fetch damaged containers from a replication mirror.
 * ``hidestore serve HOST:PORT --root DIR`` — run the multi-tenant backup
   daemon (see :mod:`repro.server`).
 * research tooling: ``trace-generate`` / ``trace-stats`` / ``observe`` /
@@ -236,14 +242,79 @@ def cmd_delete_oldest(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    """Integrity-check every chunk reference in the repository."""
-    from .core.verify import verify_system
+    """Integrity-check a repository; non-zero exit on any failure."""
+    if getattr(args, "remote", None):
+        from .client import RemoteRepository
 
-    store = open_repository(args.repo)
-    report = verify_system(store)
-    print(report.summary())
-    for issue in report.issues[:50]:
+        remote = RemoteRepository(args.remote, args.repo)
+        try:
+            doc = remote.verify(deep=args.deep)
+        finally:
+            remote.close()
+        print(doc.get("summary", "no report"))
+        issues = list(doc.get("issues", []))
+        ok = bool(doc.get("ok", False))
+    else:
+        from .replication.repair import verify_repository
+
+        report = verify_repository(args.repo, deep=args.deep)
+        print(report.summary())
+        issues, ok = report.issues, report.ok
+    for issue in issues[:50]:
         print(f"  - {issue}")
+    if len(issues) > 50:
+        print(f"  ... and {len(issues) - 50} more")
+    return 0 if ok else 1
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """Incrementally mirror a repository to a directory or mirror daemon."""
+    from .replication import ReplicationSession, open_target
+
+    target = open_target(args.target, args.remote)
+    try:
+        session = ReplicationSession(args.repo, target, journal=args.journal)
+        if args.dry_run:
+            plan = session.plan()
+            summary = plan.summary()
+            print(
+                f"would ship {summary['ships']} objects "
+                f"({format_bytes(summary['bytes_to_ship'])}), "
+                f"delete {summary['deletes']}, "
+                f"skip {summary['containers_skipped']} containers already mirrored"
+            )
+            return 0
+        report = session.run()
+        where = f"{args.target} on {args.remote}" if args.remote else args.target
+        print(
+            f"replicated {args.repo} -> {where}: "
+            f"{report.objects_shipped} objects "
+            f"({format_bytes(report.bytes_shipped)}) shipped, "
+            f"{report.containers_skipped} containers already mirrored, "
+            f"{report.objects_deleted} expired objects deleted "
+            f"in {report.duration_seconds:.2f}s"
+        )
+        if session.journal_path:
+            print(f"sync journal: {session.journal_path}")
+        return 0
+    finally:
+        target.close()
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    """Re-fetch damaged containers from a replication mirror."""
+    from .replication import open_target, repair_from_mirror
+
+    mirror = open_target(args.mirror, args.remote)
+    try:
+        report = repair_from_mirror(args.repo, mirror, deep=not args.shallow)
+    finally:
+        mirror.close()
+    print(report.summary())
+    for name in report.repaired:
+        print(f"  repaired {name}")
+    for name, reason in sorted(report.unrepaired.items()):
+        print(f"  FAILED   {name}: {reason}")
     return 0 if report.ok else 1
 
 
@@ -443,7 +514,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="integrity-check the repository")
     p.add_argument("repo")
+    p.add_argument("--deep", action="store_true",
+                   help="also re-hash every stored chunk payload and "
+                        "container file (catches silent bit-flips)")
+    _add_remote_flag(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "replicate",
+        help="incrementally mirror a repository to a directory or daemon",
+    )
+    p.add_argument("repo", help="source repository directory")
+    p.add_argument("target",
+                   help="mirror directory, or tenant name with --remote")
+    p.add_argument("--journal", default=None,
+                   help="sync-journal path (default: <repo>/.replication/)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the sync plan without shipping anything")
+    _add_remote_flag(p)
+    p.set_defaults(func=cmd_replicate)
+
+    p = sub.add_parser(
+        "repair",
+        help="re-fetch damaged containers from a replication mirror",
+    )
+    p.add_argument("repo", help="repository directory to repair")
+    p.add_argument("--from", dest="mirror", required=True, metavar="MIRROR",
+                   help="mirror directory, or tenant name with --remote")
+    p.add_argument("--shallow", action="store_true",
+                   help="skip payload re-hashing when scanning for damage")
+    _add_remote_flag(p)
+    p.set_defaults(func=cmd_repair)
 
     p = sub.add_parser("serve", help="run the multi-tenant backup daemon")
     p.add_argument("address", metavar="HOST:PORT",

@@ -18,6 +18,10 @@ negotiation; ingest streams ``BACKUP_BEGIN`` → ``CHUNK_DATA``\\ * →
 frames; the sender may have at most *window* unacknowledged data frames in
 flight — bounded memory on the server, backpressure on the client);
 restores stream ``RESTORE_META`` → ``CHUNK_DATA``\\ * → ``RESTORE_END``.
+Replication ships repository objects to a mirror daemon
+(``REPLICATE_STATE`` / ``REPLICATE_PUT`` / ``REPLICATE_COMMIT``) and reads
+them back for repair (``REPLICATE_FETCH``); object bodies stream as
+``CHUNK_DATA`` frames totalling the announced size.
 Failures travel as ``ERROR`` frames carrying the :class:`ReproError`
 taxonomy by class name, so the client re-raises the exact exception type
 the server hit (:func:`repro.errors.error_by_name`).
@@ -71,6 +75,19 @@ class FrameType(IntEnum):
     VERSIONS = 15
     VERSIONS_OK = 16
     ERROR = 17
+    # Replication (mirror-daemon) vocabulary.  PUT and OBJECT stream their
+    # body as CHUNK_DATA frames totalling exactly the announced ``size`` —
+    # the count is derivable, so no END frame is needed.
+    REPLICATE_STATE = 18
+    REPLICATE_STATE_OK = 19
+    REPLICATE_PUT = 20
+    REPLICATE_PUT_OK = 21
+    REPLICATE_COMMIT = 22
+    REPLICATE_COMMIT_OK = 23
+    REPLICATE_FETCH = 24
+    REPLICATE_OBJECT = 25
+    VERIFY = 26
+    VERIFY_OK = 27
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,7 @@ from ..errors import ProtocolError, RemoteError, ReproError, TimeoutExceededErro
 from ..observability import EventLogger, MetricsRegistry, get_registry, new_trace_id
 from ..repository import FilePlan, stream_blocks
 from .protocol import (
+    DATA_BLOCK,
     FrameDecoder,
     FrameType,
     check_hello,
@@ -597,6 +598,141 @@ class RemoteRepository:
                 FrameType.STATS, {"repo": None}, FrameType.STATS_OK, "stats"
             )
         )
+
+    def verify(self, deep: bool = False) -> Dict:
+        """Server-side integrity verification of this tenant.
+
+        Returns the report document (``ok``, ``versions_checked``,
+        ``entries_checked``, ``issues``, ``summary``).  ``deep`` re-hashes
+        every stored chunk payload and container file on the server.
+        """
+        return self._with_retries(
+            lambda: self._simple_request(
+                FrameType.VERIFY,
+                {"repo": self.repo, "deep": bool(deep)},
+                FrameType.VERIFY_OK,
+                "verify",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Replication (idempotent by construction — retried)
+    # ------------------------------------------------------------------
+    # Every replication request is safe to retry: STATE and FETCH are pure
+    # reads, PUT lands a content-addressed blob atomically (a resend
+    # overwrites with identical bytes), and COMMIT's rename/delete lists
+    # replay as no-ops on the server.
+
+    def replicate_state(self) -> Dict:
+        """The mirror tenant's replicable state + physical identity."""
+        return self._with_retries(
+            lambda: self._simple_request(
+                FrameType.REPLICATE_STATE,
+                {"repo": self.repo},
+                FrameType.REPLICATE_STATE_OK,
+                "replicate_state",
+            )
+        )
+
+    def replicate_put(
+        self, kind: str, name: str, blob: bytes, digest: str, staged: bool = False
+    ) -> Dict:
+        """Ship one repository object; the server validates size + digest."""
+
+        def op() -> Dict:
+            conn = self.pool.acquire()
+            trace = conn.next_trace()
+            try:
+                header = {
+                    "repo": self.repo,
+                    "kind": kind,
+                    "name": name,
+                    "size": len(blob),
+                    "digest": digest,
+                    "staged": bool(staged),
+                    "trace": trace,
+                }
+                conn.send(encode_json(FrameType.REPLICATE_PUT, header))
+                for offset in range(0, len(blob), DATA_BLOCK):
+                    try:
+                        conn.send(encode_data(blob[offset : offset + DATA_BLOCK]))
+                    except OSError as exc:
+                        error = conn.pending_error()
+                        if error is not None:
+                            raise_remote_error(error)
+                        raise RemoteError(f"connection lost mid-put: {exc}") from exc
+                ftype, payload = conn.recv_frame()
+                if ftype == FrameType.ERROR:
+                    raise_remote_error(payload)
+                if ftype != FrameType.REPLICATE_PUT_OK:
+                    raise ProtocolError(f"expected REPLICATE_PUT_OK, got {ftype.name}")
+                return decode_json(payload)
+            except BaseException:
+                conn.close()
+                raise
+            finally:
+                self.pool.release(conn)
+
+        started = time.perf_counter()
+        reply = self._with_retries(op)
+        self.metrics.observe("client.replicate_put_seconds", time.perf_counter() - started)
+        self.metrics.inc("client.replicate_put_bytes", len(blob))
+        return reply
+
+    def replicate_commit(self, renames: List[List[str]], deletes: List[List[str]]) -> Dict:
+        """Flip staged objects live and apply deletions on the mirror."""
+        return self._with_retries(
+            lambda: self._simple_request(
+                FrameType.REPLICATE_COMMIT,
+                {"repo": self.repo, "renames": renames, "deletes": deletes},
+                FrameType.REPLICATE_COMMIT_OK,
+                "replicate_commit",
+            )
+        )
+
+    def replicate_fetch(self, kind: str, name: str) -> bytes:
+        """Read one repository object back from the mirror (repair path)."""
+
+        def op() -> bytes:
+            conn = self.pool.acquire()
+            trace = conn.next_trace()
+            try:
+                conn.send(
+                    encode_json(
+                        FrameType.REPLICATE_FETCH,
+                        {"repo": self.repo, "kind": kind, "name": name, "trace": trace},
+                    )
+                )
+                ftype, payload = conn.recv_frame()
+                if ftype == FrameType.ERROR:
+                    raise_remote_error(payload)
+                if ftype != FrameType.REPLICATE_OBJECT:
+                    raise ProtocolError(f"expected REPLICATE_OBJECT, got {ftype.name}")
+                size = decode_json(payload).get("size")
+                if not isinstance(size, int) or size < 0:
+                    raise ProtocolError("REPLICATE_OBJECT must announce a size")
+                parts: List[bytes] = []
+                received = 0
+                while received < size:
+                    ftype, payload = conn.recv_frame()
+                    if ftype == FrameType.ERROR:
+                        raise_remote_error(payload)
+                    if ftype != FrameType.CHUNK_DATA:
+                        raise ProtocolError(f"unexpected {ftype.name} during fetch")
+                    parts.append(payload)
+                    received += len(payload)
+                if received != size:
+                    raise ProtocolError(
+                        f"fetch overran its announced size ({received} > {size})"
+                    )
+                return b"".join(parts)
+            except BaseException:
+                conn.close()
+                raise
+            finally:
+                self.pool.release(conn)
+
+        return self._with_retries(op)
 
     # ------------------------------------------------------------------
     # Deletion (mutating — never retried)

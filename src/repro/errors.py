@@ -56,6 +56,14 @@ class WorkloadError(ReproError):
     """Invalid synthetic-workload or trace configuration."""
 
 
+class ReplicationError(ReproError):
+    """A mirror-sync or repair operation was invalid or failed.
+
+    Covers self-sync attempts (target resolves to the source repository),
+    digest mismatches on shipped objects, and torn commit requests.
+    """
+
+
 class RemoteError(ReproError):
     """A remote backup-service operation failed.
 

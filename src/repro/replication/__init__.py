@@ -1,0 +1,67 @@
+"""Replication & disaster recovery: incremental mirror sync and repair.
+
+The subsystem mirrors an on-disk repository to a second location — a
+local directory or a tenant on a remote daemon — in O(delta) work per
+sync, and repairs damaged containers back from that mirror:
+
+* :mod:`.state` — the replicable-object model: what a repository *is* on
+  the wire (containers / manifests / recipes / checkpoint) and how each
+  kind is identified and digested.
+* :mod:`.planner` — :class:`SyncPlanner` diffs two states into a
+  :class:`SyncPlan`: sealed containers copied once and never again,
+  mutable objects re-shipped on digest change, expired objects deleted.
+* :mod:`.targets` — :class:`LocalMirror` (directory) and
+  :class:`RemoteMirror` (daemon tenant over ``REPLICATE_*`` frames)
+  behind one :class:`ReplicationTarget` protocol.
+* :mod:`.session` — :class:`ReplicationSession` executes one sync with a
+  crash-safe journal; interrupted syncs resume without re-shipping.
+* :mod:`.repair` — :func:`repair_from_mirror` re-fetches containers that
+  fail verification, validating every blob before it lands.
+"""
+
+from .planner import ObjectRef, ShipAction, SyncPlan, SyncPlanner
+from .repair import (
+    RepairReport,
+    check_container_blob,
+    repair_from_mirror,
+    scan_containers,
+    verify_repository,
+)
+from .session import ReplicationSession, SyncJournal, SyncReport, journal_path_for
+from .state import capture_state, normalize_state, same_identity, source_identity
+from .targets import (
+    LocalMirror,
+    RemoteMirror,
+    ReplicationTarget,
+    commit_objects,
+    open_target,
+    read_object,
+    write_object,
+)
+
+__all__ = [
+    "LocalMirror",
+    "ObjectRef",
+    "RemoteMirror",
+    "RepairReport",
+    "ReplicationSession",
+    "ReplicationTarget",
+    "ShipAction",
+    "SyncJournal",
+    "SyncPlan",
+    "SyncPlanner",
+    "SyncReport",
+    "capture_state",
+    "check_container_blob",
+    "commit_objects",
+    "journal_path_for",
+    "normalize_state",
+    "open_target",
+    "read_object",
+    "repair_from_mirror",
+    "same_identity",
+    "scan_containers",
+    "source_identity",
+    "verify_repository",
+    "write_object",
+]

@@ -1,0 +1,234 @@
+"""Verifiable repair: re-fetch damaged containers from a mirror.
+
+The repair path is the disaster-recovery half of replication: when
+``verify`` finds archival containers that are unreadable, fail deep
+payload re-hashing, or are missing outright, ``repair_from_mirror``
+re-fetches exactly those containers from a replication target, validates
+every fetched blob *before* it touches the repository (unpack + chunk
+payloads re-hashed against their fingerprints), and lands it atomically
+(``*.tmp`` + rename) over the damaged file.
+
+Sealed containers are immutable (§4.2), so a mirror populated by
+``replicate`` holds bit-identical copies — a validated fetch is a full
+repair, no reconciliation needed.  A mirror whose copy is *also* damaged
+can never make things worse: blobs failing validation are rejected and
+reported, and the original file is left untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ReproError, StorageError
+from ..observability import MetricsRegistry, get_registry
+from ..storage.container_store import _COMPRESSED_MAGIC, unpack_container
+from .state import same_identity, source_identity
+from .targets import ReplicationTarget, write_object
+
+_CONTAINER_RE = re.compile(r"^container-(\d{8})\.hdsc$")
+
+
+def container_name(cid: int) -> str:
+    """The on-disk file name of archival container ``cid``."""
+    return f"container-{cid:08d}.hdsc"
+
+
+def check_container_blob(blob: bytes, expected_id: int, deep: bool = True) -> Optional[str]:
+    """Validate one serialised container; returns the defect or ``None``.
+
+    Shallow: the blob must decompress/unpack as container ``expected_id``.
+    Deep: every chunk payload must re-hash to its fingerprint (the check
+    that catches bit-flips the container format itself cannot see — chunk
+    payloads carry no per-chunk checksum, their fingerprint *is* the
+    checksum).
+    """
+    from ..chunking.fingerprint import Fingerprinter
+
+    try:
+        raw = blob
+        if raw[:4] == _COMPRESSED_MAGIC:
+            raw = zlib.decompress(raw[4:])
+        container = unpack_container(raw, expected_id=expected_id)
+    except (ReproError, struct.error, zlib.error, IndexError) as exc:
+        return f"unreadable: {exc}"
+    if deep:
+        fingerprinter = None
+        for fp, slot in container.items():
+            if slot.data is None:
+                continue
+            if fingerprinter is None or fingerprinter.width != len(fp):
+                fingerprinter = Fingerprinter(width=len(fp))
+            if fingerprinter.fingerprint(slot.data) != fp:
+                return f"payload of chunk {fp.hex()[:8]} does not re-hash to its fingerprint"
+    return None
+
+
+def referenced_container_ids(repo_root: str) -> Set[int]:
+    """Archival container IDs the repository's metadata still points at.
+
+    Union of positive cids across every retained recipe plus the §4.5
+    deletion tags in the checkpoint (tagged containers must exist for the
+    expiry path to reclaim them).  Chain markers (negative) and the
+    active-pool marker (0) reference no archival file.
+    """
+    from ..storage.recipe import FileRecipeStore
+
+    referenced: Set[int] = set()
+    recipes_dir = os.path.join(repo_root, "recipes")
+    if os.path.isdir(recipes_dir):
+        recipes = FileRecipeStore(recipes_dir)
+        for version_id in recipes.version_ids():
+            for entry in recipes.peek(version_id).entries:
+                if entry.cid > 0:
+                    referenced.add(entry.cid)
+    checkpoint = os.path.join(repo_root, "checkpoint.json")
+    if os.path.exists(checkpoint):
+        try:
+            with open(checkpoint, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            for cids in document.get("deletion_tags", {}).values():
+                referenced.update(int(cid) for cid in cids)
+        except (ValueError, OSError, TypeError):
+            pass  # a damaged checkpoint is verify's problem, not repair's
+    return referenced
+
+
+def scan_containers(repo_root: str, deep: bool = True) -> Tuple[int, Dict[str, str]]:
+    """Find damaged archival containers; returns ``(scanned, {name: defect})``.
+
+    Three defect classes: present-but-unreadable, present-but-payload-
+    corrupt (``deep``), and referenced-but-missing.
+    """
+    containers_dir = os.path.join(repo_root, "containers")
+    bad: Dict[str, str] = {}
+    scanned = 0
+    present: Set[int] = set()
+    if os.path.isdir(containers_dir):
+        for name in sorted(os.listdir(containers_dir)):
+            match = _CONTAINER_RE.match(name)
+            if not match:
+                continue
+            scanned += 1
+            cid = int(match.group(1))
+            present.add(cid)
+            with open(os.path.join(containers_dir, name), "rb") as handle:
+                blob = handle.read()
+            defect = check_container_blob(blob, cid, deep=deep)
+            if defect is not None:
+                bad[name] = defect
+    for cid in sorted(referenced_container_ids(repo_root) - present):
+        bad[container_name(cid)] = "missing"
+    return scanned, bad
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one ``repair_from_mirror`` run."""
+
+    containers_scanned: int = 0
+    #: name -> defect found by the pre-repair scan
+    damaged: Dict[str, str] = field(default_factory=dict)
+    repaired: List[str] = field(default_factory=list)
+    #: name -> why the mirror's copy could not be used
+    unrepaired: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unrepaired
+
+    def as_dict(self) -> Dict:
+        return {
+            "containers_scanned": self.containers_scanned,
+            "damaged": dict(self.damaged),
+            "repaired": list(self.repaired),
+            "unrepaired": dict(self.unrepaired),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        if not self.damaged:
+            return f"scanned {self.containers_scanned} containers: all sound"
+        status = "OK" if self.ok else f"{len(self.unrepaired)} NOT repaired"
+        return (
+            f"scanned {self.containers_scanned} containers: "
+            f"{len(self.damaged)} damaged, {len(self.repaired)} repaired, {status}"
+        )
+
+
+def repair_from_mirror(
+    repo_root: str,
+    mirror: ReplicationTarget,
+    deep: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RepairReport:
+    """Scan ``repo_root`` for damaged containers and re-fetch them.
+
+    Every fetched blob is validated (unpack under the damaged container's
+    ID, payloads re-hashed) before it replaces anything; validation
+    failures leave the local file untouched and are reported in
+    ``unrepaired``.  Refuses a mirror that resolves to the repository
+    being repaired — "repairing" from the damaged files themselves.
+    """
+    from ..errors import ReplicationError
+
+    metrics = metrics if metrics is not None else get_registry()
+    mirror_id = mirror.identity()
+    if same_identity(source_identity(repo_root), mirror_id):
+        raise ReplicationError(
+            f"repair mirror resolves to the repository being repaired "
+            f"({mirror_id.get('path')!r} on {mirror_id.get('host')!r})"
+        )
+    report = RepairReport()
+    report.containers_scanned, report.damaged = scan_containers(repo_root, deep=deep)
+    for name in sorted(report.damaged):
+        cid = int(_CONTAINER_RE.match(name).group(1))
+        try:
+            blob = mirror.fetch("container", name)
+        except ReproError as exc:
+            report.unrepaired[name] = f"mirror fetch failed: {exc}"
+            metrics.inc("repair.containers_unrepaired")
+            continue
+        defect = check_container_blob(blob, cid, deep=True)
+        if defect is not None:
+            report.unrepaired[name] = f"mirror copy rejected: {defect}"
+            metrics.inc("repair.containers_unrepaired")
+            continue
+        write_object(repo_root, "container", name, blob, staged=False)
+        report.repaired.append(name)
+        metrics.inc("repair.containers_repaired")
+        metrics.inc("repair.bytes_fetched", len(blob))
+    return report
+
+
+def verify_repository(repo_root: str, deep: bool = False) -> "VerificationReport":
+    """Full-repository verification over an on-disk repo directory.
+
+    Runs the engine-level walk (:func:`repro.core.verify.verify_system`)
+    and, with ``deep``, re-hashes every stored chunk payload *and*
+    re-checks every container file blob — the checks ``repair`` keys off.
+    """
+    from ..core.verify import VerificationReport, verify_system
+    from ..repository import open_repository
+
+    try:
+        system = open_repository(repo_root)
+    except (ReproError, ValueError, KeyError, OSError) as exc:
+        report = VerificationReport()
+        report.note(f"repository unreadable: {exc}")
+        return report
+    try:
+        report = verify_system(system)
+    except StorageError as exc:
+        report = VerificationReport()
+        report.note(f"verification aborted: {exc}")
+    if deep:
+        _scanned, bad = scan_containers(repo_root, deep=True)
+        for name, defect in sorted(bad.items()):
+            report.note(f"container file {name}: {defect}")
+    return report

@@ -1,0 +1,197 @@
+"""Replicable-object model: what a repository *is*, for mirroring purposes.
+
+A HiDeStore repository directory is a set of four object kinds:
+
+* ``container`` — ``containers/container-XXXXXXXX.hdsc``.  Sealed archival
+  containers are **immutable**: :meth:`FileContainerStore.write` refuses to
+  overwrite, so a container file's content never changes after its first
+  rename into place.  A mirror therefore copies each container exactly once
+  (diffed by presence + size) and never again — the O(delta) property the
+  §4.2 chunk filter buys us.
+* ``recipe`` — ``recipes/recipe-XXXXXXXX.hdsr``.  Mostly stable, but **not**
+  immutable: §4.3 chain maintenance rewrites the previous version's recipe
+  in place, and Algorithm-1 flattening may rewrite any of them.  Diffed by
+  content digest.
+* ``manifest`` — ``manifests/manifest-XXXXXXXX.txt``.  Immutable per
+  version; diffed by digest anyway (they are tiny).
+* ``checkpoint`` — ``checkpoint.json``: the volatile engine state (T1
+  tables, active containers, deletion tags).  Rewritten after every backup;
+  re-shipped whenever its digest moved.
+
+:func:`capture_state` snapshots a repository into a plain dict the
+:class:`~repro.replication.planner.SyncPlanner` diffs; it is also what a
+mirror daemon returns in ``REPLICATE_STATE_OK``, so both sides of the wire
+speak the same shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from typing import Dict, Iterator, Tuple
+
+from ..errors import ReplicationError
+from ..repository import checkpoint_path, repo_paths
+
+#: Object kinds, in the order they must be shipped (containers are
+#: invisible until a recipe references them; the checkpoint commits last).
+KINDS = ("container", "manifest", "recipe", "checkpoint")
+
+#: Mirror-side file-name vocabulary per kind.  Anything else is rejected —
+#: these names arrive over the wire and are joined under the tenant root.
+_NAME_PATTERNS: Dict[str, "re.Pattern[str]"] = {
+    "container": re.compile(r"^container-\d{8}\.hdsc$"),
+    "recipe": re.compile(r"^recipe-\d{8}\.hdsr$"),
+    "manifest": re.compile(r"^manifest-\d{8}\.txt$"),
+    "checkpoint": re.compile(r"^checkpoint\.json$"),
+}
+
+#: Suffix of staged (shipped but not yet committed) mirror objects.  Not
+#: ``.tmp`` — :class:`FileContainerStore` sweeps ``*.tmp`` on open, and a
+#: staged object must survive a mirror restart mid-sync.
+STAGED_SUFFIX = ".staged"
+
+#: The checkpoint's one valid object name.
+CHECKPOINT_NAME = "checkpoint.json"
+
+#: A repository state snapshot: kind -> name -> {"size": int, "digest": str}.
+#: Containers carry size only (immutable once visible; presence + size is
+#: the whole identity), digest-bearing kinds carry both.
+RepoState = Dict[str, Dict[str, Dict]]
+
+
+def validate_object(kind: str, name: str) -> Tuple[str, str]:
+    """Vet one (kind, name) pair from a plan or a wire frame; returns it."""
+    pattern = _NAME_PATTERNS.get(kind)
+    if pattern is None:
+        raise ReplicationError(f"unknown replication object kind {kind!r}")
+    if not isinstance(name, str) or not pattern.match(name):
+        raise ReplicationError(f"invalid {kind} object name {name!r}")
+    return kind, name
+
+
+def object_path(root: str, kind: str, name: str) -> str:
+    """Absolute path of one replicable object inside a repository."""
+    validate_object(kind, name)
+    containers_dir, recipes_dir, manifests_dir = repo_paths(root)
+    base = {
+        "container": containers_dir,
+        "recipe": recipes_dir,
+        "manifest": manifests_dir,
+    }.get(kind)
+    if base is None:  # checkpoint
+        return checkpoint_path(root)
+    return os.path.join(base, name)
+
+
+def file_digest(path: str) -> Tuple[int, str]:
+    """(size, sha256 hex) of a file, streamed."""
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(1 << 20)
+            if not block:
+                break
+            digest.update(block)
+            size += len(block)
+    return size, digest.hexdigest()
+
+
+def blob_digest(blob: bytes) -> str:
+    """The hex sha256 of an in-memory object blob (matches ``file_digest``)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _scan_dir(directory: str, kind: str) -> Dict[str, Dict]:
+    pattern = _NAME_PATTERNS[kind]
+    objects: Dict[str, Dict] = {}
+    if not os.path.isdir(directory):
+        return objects
+    for name in sorted(os.listdir(directory)):
+        if not pattern.match(name):
+            continue  # .tmp / .staged / foreign files are not repo state
+        path = os.path.join(directory, name)
+        if kind == "container":
+            # Immutable once visible: presence + size is the identity, and
+            # skipping the digest keeps state capture O(metadata).
+            objects[name] = {"size": os.path.getsize(path)}
+        else:
+            size, digest = file_digest(path)
+            objects[name] = {"size": size, "digest": digest}
+    return objects
+
+
+def capture_state(root: str) -> RepoState:
+    """Snapshot a repository directory's replicable objects.
+
+    Must run while no backup/deletion is mutating the repository (the
+    caller holds the registry's reader lock, or owns the directory
+    outright); a mutation between digesting and shipping is caught later by
+    the session's read-time digest check.
+    """
+    containers_dir, recipes_dir, manifests_dir = repo_paths(root)
+    state: RepoState = {
+        "containers": _scan_dir(containers_dir, "container"),
+        "recipes": _scan_dir(recipes_dir, "recipe"),
+        "manifests": _scan_dir(manifests_dir, "manifest"),
+        "checkpoint": {},
+    }
+    checkpoint = checkpoint_path(root)
+    if os.path.exists(checkpoint):
+        size, digest = file_digest(checkpoint)
+        state["checkpoint"] = {CHECKPOINT_NAME: {"size": size, "digest": digest}}
+    return state
+
+
+def normalize_state(obj: object) -> RepoState:
+    """Vet a state document that arrived over the wire (untrusted JSON)."""
+    if not isinstance(obj, dict):
+        raise ReplicationError("replication state must be a JSON object")
+    state: RepoState = {}
+    for section, kind in (
+        ("containers", "container"),
+        ("recipes", "recipe"),
+        ("manifests", "manifest"),
+        ("checkpoint", "checkpoint"),
+    ):
+        raw = obj.get(section, {})
+        if not isinstance(raw, dict):
+            raise ReplicationError(f"replication state section {section!r} malformed")
+        clean: Dict[str, Dict] = {}
+        for name, info in raw.items():
+            validate_object(kind, name)
+            if not isinstance(info, dict) or not isinstance(info.get("size"), int):
+                raise ReplicationError(f"replication state entry {name!r} malformed")
+            entry = {"size": info["size"]}
+            if "digest" in info:
+                if not isinstance(info["digest"], str):
+                    raise ReplicationError(f"replication state digest of {name!r} malformed")
+                entry["digest"] = info["digest"]
+            clean[name] = entry
+        state[section] = clean
+    return state
+
+
+def iter_blocks(blob: bytes, block_size: int = 1 << 18) -> Iterator[bytes]:
+    """Slice one object blob into wire/file-friendly blocks."""
+    view = memoryview(blob)
+    for offset in range(0, len(blob), block_size):
+        yield bytes(view[offset : offset + block_size])
+
+
+def source_identity(root: str) -> Dict[str, str]:
+    """Where a local repository physically lives, for self-sync detection."""
+    import socket
+
+    return {"host": socket.gethostname(), "path": os.path.realpath(root)}
+
+
+def same_identity(a: Dict, b: Dict) -> bool:
+    """True when two identities resolve to the same directory on one host."""
+    return (
+        bool(a.get("path"))
+        and a.get("host") == b.get("host")
+        and a.get("path") == b.get("path")
+    )

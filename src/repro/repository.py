@@ -239,6 +239,38 @@ class LocalRepository:
                 )
             return self._store
 
+    def invalidate(self) -> None:
+        """Drop the cached engine; the next operation reloads from disk.
+
+        Required after anything mutates the repository files behind the
+        engine's back — a replication commit landing on a mirror tenant, a
+        repair overwriting container files — so the cached store never
+        serves state the disk no longer holds.
+        """
+        with self._open_lock:
+            self._store = None
+
+    def verify(self, deep: bool = False) -> Dict:
+        """Integrity-check the repository; returns the report document.
+
+        ``deep`` additionally re-hashes every stored chunk payload and
+        container file against its fingerprint — the check that catches
+        silent bit-flips.  Always verifies the on-disk state (fresh
+        engine), so damage inflicted after the engine was cached is seen.
+        """
+        from .replication.repair import verify_repository
+
+        report = verify_repository(self.root, deep=deep)
+        return {
+            "ok": report.ok,
+            "versions_checked": report.versions_checked,
+            "entries_checked": report.entries_checked,
+            # Bounded for the wire; issues_total carries the true count.
+            "issues": report.issues[:200],
+            "issues_total": len(report.issues),
+            "summary": report.summary(),
+        }
+
     def _open_for_backup(self) -> HiDeStore:
         store = self._open()
         # A retired store cannot take further backups until its cache is

@@ -41,10 +41,23 @@ from ..client.protocol import (
     encode_error,
     encode_json,
 )
-from ..errors import ProtocolError, ReproError, RemoteError, ServerDrainingError
+from ..errors import (
+    ProtocolError,
+    ReplicationError,
+    ReproError,
+    RemoteError,
+    ServerDrainingError,
+)
 from ..observability import EventLogger, MetricsRegistry, get_registry, new_trace_id
+from ..replication.planner import ObjectRef
+from ..replication.state import blob_digest, capture_state, source_identity, validate_object
+from ..replication.targets import commit_objects, read_object, write_object
 from ..repository import FilePlan, validate_rel_name
 from .registry import RepoHandle, RepositoryRegistry
+
+#: Ceiling on one replicated object's size (containers are ~4 MiB; the
+#: checkpoint grows with the fingerprint tables but stays far below this).
+_MAX_OBJECT = 1 << 30
 
 #: Sentinel closing a backup's block queue (client sent BACKUP_END).
 _EOF = object()
@@ -163,6 +176,11 @@ class _Session:
             FrameType.STATS: ("stats", self._handle_stats),
             FrameType.VERSIONS: ("versions", self._handle_versions),
             FrameType.DELETE_OLDEST: ("delete", self._handle_delete_oldest),
+            FrameType.REPLICATE_STATE: ("replicate_state", self._handle_replicate_state),
+            FrameType.REPLICATE_PUT: ("replicate_put", self._handle_replicate_put),
+            FrameType.REPLICATE_COMMIT: ("replicate_commit", self._handle_replicate_commit),
+            FrameType.REPLICATE_FETCH: ("replicate_fetch", self._handle_replicate_fetch),
+            FrameType.VERIFY: ("verify", self._handle_verify),
         }
         entry = handlers.get(ftype)
         if entry is None:
@@ -457,6 +475,134 @@ class _Session:
         self.writer.write(encode_json(FrameType.VERSIONS_OK, {"versions": rows}))
         await self.writer.drain()
 
+    # ------------------------------------------------------------------
+    # Replication: this daemon as a mirror target
+    # ------------------------------------------------------------------
+    # Locking discipline: STATE, PUT and FETCH run under the tenant's
+    # *read* lock — puts land invisible additions (containers/manifests
+    # are unreferenced until a recipe names them, staged files are not
+    # live), so they coexist with restores while still excluding writers
+    # (backup, delete, commit).  COMMIT takes the *write* lock: it flips
+    # the tenant's visible version set, and must also drop the cached
+    # engine so the next operation reloads the new on-disk state.
+
+    @staticmethod
+    def _replication_object(obj: dict) -> Tuple[str, str]:
+        kind = str(obj.get("kind", "") or "")
+        name = str(obj.get("name", "") or "")
+        validate_object(kind, name)
+        return kind, name
+
+    @staticmethod
+    def _replication_refs(raw: object, what: str) -> list:
+        if not isinstance(raw, list):
+            raise ProtocolError(f"replication {what} must be a list of [kind, name]")
+        refs = []
+        for pair in raw:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ProtocolError(f"malformed replication {what} entry: {pair!r}")
+            kind, name = str(pair[0]), str(pair[1])
+            validate_object(kind, name)
+            refs.append(ObjectRef(kind, name))
+        return refs
+
+    async def _handle_replicate_state(self, obj: dict) -> None:
+        handle = self.daemon.registry.get(obj.get("repo"), create=True)
+        async with handle.lock.read_locked():
+            state = await asyncio.to_thread(capture_state, handle.repository.root)
+        self.daemon.note_session("replicate_state")
+        self.writer.write(
+            encode_json(
+                FrameType.REPLICATE_STATE_OK,
+                {"state": state, "identity": source_identity(handle.repository.root)},
+            )
+        )
+        await self.writer.drain()
+
+    async def _handle_replicate_put(self, obj: dict) -> None:
+        if self.daemon.draining:
+            raise ServerDrainingError("server is draining; retry the sync elsewhere")
+        handle = self.daemon.registry.get(obj.get("repo"), create=True)
+        kind, name = self._replication_object(obj)
+        size = obj.get("size")
+        if not isinstance(size, int) or size < 0 or size > _MAX_OBJECT:
+            raise ProtocolError(f"REPLICATE_PUT announces invalid size {size!r}")
+        digest = str(obj.get("digest", "") or "")
+        staged = bool(obj.get("staged", False))
+        parts = []
+        received = 0
+        while received < size:
+            ftype, payload = await read_frame(self.reader)
+            if ftype != FrameType.CHUNK_DATA:
+                raise ProtocolError(f"unexpected {ftype.name} frame mid-put")
+            parts.append(payload)
+            received += len(payload)
+        if received != size:
+            raise ProtocolError(
+                f"object body overran its announced size ({received} > {size})"
+            )
+        blob = b"".join(parts)
+        if digest and blob_digest(blob) != digest:
+            raise ReplicationError(
+                f"shipped {kind} {name!r} failed digest validation in transit"
+            )
+        async with handle.lock.read_locked():
+            handle.active_ops += 1
+            try:
+                await asyncio.to_thread(
+                    write_object, handle.repository.root, kind, name, blob, staged
+                )
+            finally:
+                handle.active_ops -= 1
+        self.daemon.metrics.inc("server.replicate_bytes", len(blob))
+        self.daemon.note_session("replicate_put")
+        self.writer.write(
+            encode_json(FrameType.REPLICATE_PUT_OK, {"bytes": len(blob)})
+        )
+        await self.writer.drain()
+
+    async def _handle_replicate_commit(self, obj: dict) -> None:
+        handle = self.daemon.registry.get(obj.get("repo"), create=True)
+        renames = self._replication_refs(obj.get("renames", []), "renames")
+        deletes = self._replication_refs(obj.get("deletes", []), "deletes")
+        async with handle.lock.write_locked():
+            handle.active_ops += 1
+            try:
+                applied = await asyncio.to_thread(
+                    commit_objects, handle.repository.root, renames, deletes
+                )
+                handle.repository.invalidate()
+            finally:
+                handle.active_ops -= 1
+        self.daemon.note_session("replicate_commit")
+        self.writer.write(
+            encode_json(FrameType.REPLICATE_COMMIT_OK, {"applied": applied})
+        )
+        await self.writer.drain()
+
+    async def _handle_replicate_fetch(self, obj: dict) -> None:
+        handle = self.daemon.registry.get(obj.get("repo"))
+        kind, name = self._replication_object(obj)
+        async with handle.lock.read_locked():
+            blob = await asyncio.to_thread(
+                read_object, handle.repository.root, kind, name
+            )
+        self.daemon.note_session("replicate_fetch")
+        self.writer.write(encode_json(FrameType.REPLICATE_OBJECT, {"size": len(blob)}))
+        for offset in range(0, len(blob), DATA_BLOCK):
+            self.writer.write(encode_data(blob[offset : offset + DATA_BLOCK]))
+            await self.writer.drain()
+        await self.writer.drain()
+
+    async def _handle_verify(self, obj: dict) -> None:
+        handle = self.daemon.registry.get(obj.get("repo"))
+        deep = bool(obj.get("deep", False))
+        async with handle.lock.read_locked():
+            doc = await asyncio.to_thread(handle.repository.verify, deep)
+        self.daemon.note_session("verify")
+        self.writer.write(encode_json(FrameType.VERIFY_OK, doc))
+        await self.writer.drain()
+
     async def _handle_delete_oldest(self, obj: dict) -> None:
         handle = self.daemon.registry.get(obj.get("repo"))
         async with handle.lock.write_locked():
@@ -588,6 +734,34 @@ class BackupDaemon:
             "requests": dict(self._session_counts),
             "window": self.window,
         }
+
+    # ------------------------------------------------------------------
+    async def replicate_tenant(self, name: str, target) -> "SyncReport":
+        """Mirror one hosted tenant to ``target`` under its reader lock.
+
+        The reader lock gives the sync a consistent snapshot — backups and
+        ``delete_oldest`` (writers) wait until the sync finishes, while
+        concurrent restores (readers) proceed.  A deletion landing after
+        the sync propagates to the mirror on the *next* sync (§4.5 expiry
+        tags make that an O(1) container-unlink on the mirror).
+        """
+        from ..replication.session import ReplicationSession
+
+        handle = self.registry.get(name)
+        async with handle.lock.read_locked():
+            handle.active_ops += 1
+            try:
+                session = ReplicationSession(
+                    handle.repository.root, target, metrics=self.metrics
+                )
+                report = await asyncio.to_thread(session.run)
+            finally:
+                handle.active_ops -= 1
+        self.note_session("replicate")
+        self.events.log(
+            "replicate_tenant", repo=name, **report.as_dict()
+        )
+        return report
 
     # ------------------------------------------------------------------
     async def shutdown(self, drain_timeout: Optional[float] = None) -> None:
