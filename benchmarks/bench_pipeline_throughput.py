@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from common import CONTAINER, emit, table
+from common import CONTAINER, emit, table, write_bench_json
 from repro.chunking import FastCDCChunker
 from repro.engine import build_engine
 from repro.pipeline import build_scheme
@@ -119,6 +119,16 @@ def test_pipeline_ingest_throughput(benchmark):
         assert abs(results[key][0].dedup_ratio - legacy_ratio) < 0.05
 
     speedup = base_elapsed / results["w4"][1]
+    write_bench_json(
+        "ingest_throughput",
+        {
+            "logical_bytes": logical,
+            "versions": len(trees),
+            "throughput_mb_s": {k: mbps[k] for k in mbps},
+            "speedup_w4": speedup,
+            "min_speedup_floor": MIN_SPEEDUP,
+        },
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"parallel ingest speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor"
     )

@@ -1,0 +1,145 @@
+"""Benchmark regression gate: compare fresh BENCH_*.json against baselines.
+
+CI runs the restore/ingest throughput benchmarks with
+``BENCH_RESULTS_DIR`` set, then runs this script::
+
+    python benchmarks/check_regression.py --results /tmp/smoke
+
+Each fresh ``BENCH_<name>.json`` is compared against the committed
+``benchmarks/baselines/BENCH_<name>.json``.  Only the **dimensionless**
+metrics are gated (parallel-over-serial speedups): raw MB/s varies with
+the runner's hardware, but a speedup is a ratio of two timings taken on
+the same machine in the same run, so a >15% drop means the pipelining
+itself regressed, not the runner.  Exit status 1 on any regression.
+
+Run with ``--update`` locally to refresh the committed baselines from a
+results directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, Tuple
+
+#: Maximum tolerated relative drop in any gated metric (satellite: >15%
+#: regression in restore/ingest throughput fails CI).
+MAX_REGRESSION = 0.15
+
+#: Gated metrics per benchmark document: dot-paths into the JSON.
+#: All are speedup ratios — dimensionless, hardware-independent.
+GATED_METRICS = {
+    "restore_throughput_local": ["speedup_p50"],
+    "restore_throughput_daemon": ["speedup_p50"],
+    "restore_throughput_s3": ["speedup_p50"],
+    "ingest_throughput": ["speedup_w4"],
+}
+
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
+
+
+def _lookup(doc: Dict, dotted: str) -> float:
+    node = doc
+    for key in dotted.split("."):
+        node = node[key]
+    return float(node)
+
+
+def iter_pairs(results_dir: str) -> Iterator[Tuple[str, Dict, Dict]]:
+    """(name, fresh_doc, baseline_doc) for every gated fresh result."""
+    for fname in sorted(os.listdir(results_dir)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        name = fname[len("BENCH_") : -len(".json")]
+        if name not in GATED_METRICS:
+            continue
+        baseline_path = os.path.join(BASELINE_DIR, fname)
+        if not os.path.exists(baseline_path):
+            print(f"note: no baseline for {name}; skipping (commit one "
+                  f"with --update)")
+            continue
+        with open(os.path.join(results_dir, fname), encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        yield name, fresh, baseline
+
+
+def check(results_dir: str) -> int:
+    failures = []
+    checked = 0
+    for name, fresh, baseline in iter_pairs(results_dir):
+        for metric in GATED_METRICS[name]:
+            try:
+                base_value = _lookup(baseline, metric)
+            except (KeyError, TypeError):
+                print(f"note: baseline {name} lacks {metric}; skipping")
+                continue
+            try:
+                new_value = _lookup(fresh, metric)
+            except (KeyError, TypeError):
+                failures.append(f"{name}: fresh result lacks metric {metric}")
+                continue
+            checked += 1
+            drop = (base_value - new_value) / base_value if base_value else 0.0
+            status = "OK"
+            if drop > MAX_REGRESSION:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}.{metric}: {new_value:.3f} vs baseline "
+                    f"{base_value:.3f} ({drop:.0%} drop > {MAX_REGRESSION:.0%})"
+                )
+            print(
+                f"{status:>10}  {name}.{metric}: "
+                f"{new_value:.3f} (baseline {base_value:.3f}, "
+                f"{'-' if drop > 0 else '+'}{abs(drop):.1%})"
+            )
+    if not checked:
+        print("error: no gated benchmark results found to compare", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} gated metrics within {MAX_REGRESSION:.0%} of baseline")
+    return 0
+
+
+def update(results_dir: str) -> int:
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    copied = 0
+    for fname in sorted(os.listdir(results_dir)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        if fname[len("BENCH_") : -len(".json")] not in GATED_METRICS:
+            continue
+        with open(os.path.join(results_dir, fname), encoding="utf-8") as handle:
+            doc = json.load(handle)
+        with open(os.path.join(BASELINE_DIR, fname), "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {fname}")
+        copied += 1
+    if not copied:
+        print("error: no gated BENCH_*.json files found", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=".",
+                        help="directory holding fresh BENCH_*.json files")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh committed baselines from --results")
+    args = parser.parse_args(argv)
+    if args.update:
+        return update(args.results)
+    return check(args.results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,8 +17,10 @@ Commands:
   incrementally mirror a repository to a directory or a mirror daemon.
 * ``hidestore repair <repo> --from MIRROR [--remote HOST:PORT]`` —
   re-fetch damaged containers from a replication mirror.
-* ``hidestore serve HOST:PORT --root DIR`` — run the multi-tenant backup
-  daemon (see :mod:`repro.server`).
+* ``hidestore serve HOST:PORT --root DIR|URL`` — run the multi-tenant
+  backup daemon (see :mod:`repro.server`).
+* ``hidestore fake-s3 HOST:PORT`` — run the local S3-style object server
+  the ``s3://`` backend targets (testing/CI only).
 * research tooling: ``trace-generate`` / ``trace-stats`` / ``observe`` /
   ``simulate`` (scheme×preset matrices to CSV).
 
@@ -29,7 +31,15 @@ implementations drive a :class:`~repro.client.RemoteRepository` over the
 wire — local and remote share one code path through the repository surface
 (:mod:`repro.repository`).
 
-The repository layout on disk::
+Everywhere a command accepts a repository path it equally accepts a
+**backend URL** (:mod:`repro.storage.backend`): ``file:///dir``,
+``sqlite:///path/to.db`` or ``s3://host:port/bucket/prefix``, optionally
+with ``?archive=URL`` to put sealed containers on a second (cold-tier)
+backend.  A bare path is an implicit ``file://``.  ``hidestore fake-s3``
+runs the local S3-style object server the ``s3://`` backend targets
+(testing/CI only).
+
+The ``file://`` repository layout on disk::
 
     <repo>/containers/container-XXXXXXXX.hdsc
     <repo>/recipes/recipe-XXXXXXXX.hdsr
@@ -429,6 +439,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fake_s3(args: argparse.Namespace) -> int:
+    """Run the local S3-style object server (testing/CI only)."""
+    from .storage.fake_s3 import main as fake_s3_main
+
+    argv = [args.listen]
+    if args.latency_ms:
+        argv += ["--latency-ms", str(args.latency_ms)]
+    if args.log:
+        argv += ["--log", args.log]
+    return fake_s3_main(argv)
+
+
+#: Help text every repository positional shares: bare path or backend URL.
+_REPO_SPEC_HELP = (
+    "repository directory or backend URL (file:///dir, sqlite:///path.db, "
+    "s3://host:port/bucket/prefix; add ?archive=URL for a cold tier)"
+)
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -455,7 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("backup", help="back up a directory snapshot")
-    p.add_argument("repo")
+    p.add_argument("repo", help=_REPO_SPEC_HELP)
     p.add_argument("source")
     p.add_argument("--tag", default=None)
     p.add_argument("--history-depth", type=int, default=1)
@@ -474,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help="restore a version into a directory")
-    p.add_argument("repo")
+    p.add_argument("repo", help=_REPO_SPEC_HELP)
     p.add_argument("version", type=int)
     p.add_argument("target")
     p.add_argument("--workers", type=_positive_int, default=None,
@@ -493,12 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_restore)
 
     p = sub.add_parser("versions", help="list stored versions")
-    p.add_argument("repo")
+    p.add_argument("repo", help=_REPO_SPEC_HELP)
     _add_remote_flag(p)
     p.set_defaults(func=cmd_versions)
 
     p = sub.add_parser("stats", help="repository statistics")
-    p.add_argument("repo")
+    p.add_argument("repo", help=_REPO_SPEC_HELP)
     p.add_argument("--detail", action="store_true",
                    help="per-version fragmentation table (local only)")
     p.add_argument("--metrics", action="store_true",
@@ -508,12 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("delete-oldest", help="expire the oldest version")
-    p.add_argument("repo")
+    p.add_argument("repo", help=_REPO_SPEC_HELP)
     _add_remote_flag(p)
     p.set_defaults(func=cmd_delete_oldest)
 
     p = sub.add_parser("verify", help="integrity-check the repository")
-    p.add_argument("repo")
+    p.add_argument("repo", help=_REPO_SPEC_HELP)
     p.add_argument("--deep", action="store_true",
                    help="also re-hash every stored chunk payload and "
                         "container file (catches silent bit-flips)")
@@ -524,11 +553,13 @@ def build_parser() -> argparse.ArgumentParser:
         "replicate",
         help="incrementally mirror a repository to a directory or daemon",
     )
-    p.add_argument("repo", help="source repository directory")
+    p.add_argument("repo", help="source repository: " + _REPO_SPEC_HELP)
     p.add_argument("target",
-                   help="mirror directory, or tenant name with --remote")
+                   help="mirror directory or backend URL, or tenant name "
+                        "with --remote")
     p.add_argument("--journal", default=None,
-                   help="sync-journal path (default: <repo>/.replication/)")
+                   help="sync-journal path (default: <repo>/.replication/ "
+                        "for directory sources; disabled for URL sources)")
     p.add_argument("--dry-run", action="store_true",
                    help="print the sync plan without shipping anything")
     _add_remote_flag(p)
@@ -538,9 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
         "repair",
         help="re-fetch damaged containers from a replication mirror",
     )
-    p.add_argument("repo", help="repository directory to repair")
+    p.add_argument("repo", help="repository to repair: " + _REPO_SPEC_HELP)
     p.add_argument("--from", dest="mirror", required=True, metavar="MIRROR",
-                   help="mirror directory, or tenant name with --remote")
+                   help="mirror directory or backend URL, or tenant name "
+                        "with --remote")
     p.add_argument("--shallow", action="store_true",
                    help="skip payload re-hashing when scanning for damage")
     _add_remote_flag(p)
@@ -549,8 +581,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run the multi-tenant backup daemon")
     p.add_argument("address", metavar="HOST:PORT",
                    help="listen address (port 0 picks a free port)")
-    p.add_argument("--root", required=True,
-                   help="directory holding one repository per tenant")
+    p.add_argument("--root", required=True, metavar="DIR|URL",
+                   help="tenant root: a directory holding one repository "
+                        "per tenant, or a backend URL (sqlite:// keeps one "
+                        ".db per tenant, s3:// one key prefix per tenant; "
+                        "?archive=URL fans the cold tier out per tenant). "
+                        "The old directory-only '--root DIR' phrasing is "
+                        "deprecated — bare paths keep working as an "
+                        "implicit file:// root")
     p.add_argument("--window", type=_positive_int, default=64,
                    help="ingest credit window (CHUNK_DATA frames in flight)")
     p.add_argument("--history-depth", type=int, default=1)
@@ -569,6 +607,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between periodic metrics_report events in "
                         "the JSON log (0 disables)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fake-s3",
+        help="run the local S3-style object server (testing/CI only)",
+    )
+    p.add_argument("listen", metavar="HOST:PORT",
+                   help="bind address (port 0 picks a free port)")
+    p.add_argument("--latency-ms", type=float, default=0.0,
+                   help="artificial per-request latency in milliseconds")
+    p.add_argument("--log", metavar="PATH", default=None,
+                   help="append a JSONL request log to PATH")
+    p.set_defaults(func=cmd_fake_s3)
 
     p = sub.add_parser("trace-generate", help="write a preset workload as a trace file")
     p.add_argument("preset", choices=["kernel", "gcc", "fslhomes", "macos"])

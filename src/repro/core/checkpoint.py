@@ -29,16 +29,18 @@ from .hidestore import HiDeStore
 _FORMAT = "hidestore-checkpoint-v1"
 
 
-def save_checkpoint(system: HiDeStore, path: str) -> None:
-    """Write the volatile state of ``system`` to ``path``.
+def checkpoint_document(system: HiDeStore) -> dict:
+    """The volatile state of ``system`` as a JSON-serialisable document.
 
-    Must be called between backups (never mid-version).  The archival
-    container store and recipe store are *not* captured — persist those with
-    file-backed stores.
+    Must be taken between backups (never mid-version).  The archival
+    container store and recipe store are *not* captured — persist those
+    with durable stores.  :func:`save_checkpoint` writes this document to
+    a file; backend-addressed repositories store it as the
+    ``checkpoint.json`` object instead.
     """
     system.run_maintenance()  # queued filter work is not serialised
     tables = system.cache.export_tables()  # raises if mid-version
-    document = {
+    return {
         "format": _FORMAT,
         "next_version": system._next_version,
         "history_depth": system.history_depth,
@@ -68,32 +70,33 @@ def save_checkpoint(system: HiDeStore, path: str) -> None:
             "disk_index_lookups": system.report.disk_index_lookups,
         },
     }
+
+
+def save_checkpoint(system: HiDeStore, path: str) -> None:
+    """Write the volatile state of ``system`` to ``path`` (see
+    :func:`checkpoint_document`)."""
+    document = checkpoint_document(system)
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
     os.replace(tmp, path)
 
 
-def load_checkpoint(
-    path: str,
+def system_from_document(
+    document: dict,
     container_store: Optional[ContainerStore] = None,
     recipe_store: Optional[RecipeStore] = None,
 ) -> HiDeStore:
-    """Rebuild a :class:`HiDeStore` from a checkpoint + its durable stores.
+    """Rebuild a :class:`HiDeStore` from a checkpoint document + its stores.
 
     Args:
-        path: checkpoint file written by :func:`save_checkpoint`.
-        container_store: the archival store the system was using (pass the
-            same :class:`~repro.storage.container_store.FileContainerStore`
-            root); defaults to a fresh in-memory store (tests).
+        document: a document produced by :func:`checkpoint_document`.
+        container_store: the archival store the system was using; defaults
+            to a fresh in-memory store (tests).
         recipe_store: likewise for recipes.
     """
-    if not os.path.exists(path):
-        raise ReproError(f"no checkpoint at {path}")
-    with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
     if document.get("format") != _FORMAT:
-        raise ReproError(f"{path}: not a {_FORMAT} file")
+        raise ReproError(f"not a {_FORMAT} document")
 
     system = HiDeStore(
         container_store=container_store,
@@ -137,3 +140,18 @@ def load_checkpoint(
     system.report.stored_bytes = report["stored_bytes"]
     system.report.disk_index_lookups = report["disk_index_lookups"]
     return system
+
+
+def load_checkpoint(
+    path: str,
+    container_store: Optional[ContainerStore] = None,
+    recipe_store: Optional[RecipeStore] = None,
+) -> HiDeStore:
+    """Rebuild a :class:`HiDeStore` from a checkpoint file + its stores."""
+    if not os.path.exists(path):
+        raise ReproError(f"no checkpoint at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise ReproError(f"{path}: not a {_FORMAT} file")
+    return system_from_document(document, container_store, recipe_store)

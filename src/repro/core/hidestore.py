@@ -347,6 +347,11 @@ class HiDeStore(RestoreMixin):
             return self.pool.read(cid)
         return self.containers.read(cid)
 
+    def _read_container_chunks(self, cid, fingerprints):
+        if cid in self.pool:
+            return None  # pool containers are in memory; no ranged path
+        return super()._read_container_chunks(cid, fingerprints)
+
     def _resolve_restore_entries(
         self, entries: List[RecipeEntry], version_id: int
     ) -> List[RecipeEntry]:

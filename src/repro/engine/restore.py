@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 from ..chunking.fingerprint import Fingerprinter
 from ..chunking.stream import Chunk
@@ -38,6 +38,11 @@ from ..observability import MetricsRegistry, get_registry
 from ..restore.base import ContainerReader, RestoreAlgorithm, RestoreResult
 from ..restore.scheduler import ContainerRead, PlanSpan
 from ..storage.recipe import RecipeEntry
+
+#: Ranged slot fetch: ``(cid, fingerprints) -> {fp: Chunk}`` or ``None``
+#: when the container can't be partially read (fall back to a full read).
+ChunkReader = Callable[[int, Sequence[bytes]], Optional[Dict[bytes, Chunk]]]
+
 
 def default_readahead(workers: int) -> int:
     """Default readahead window (in container reads) for a pool size."""
@@ -70,17 +75,37 @@ def _fetch_slots(
     reader: ContainerReader,
     fingerprinter: Optional[Fingerprinter],
     metrics: MetricsRegistry,
+    chunk_reader: Optional[ChunkReader] = None,
 ) -> Dict[int, Chunk]:
     """Worker-side: one billed container read plus slot extraction.
 
     Extraction (and verification, when requested) happens on the worker so
     the GIL-releasing portions — file read, decompression, hashing — run
     concurrently across the pool.
+
+    When ``chunk_reader`` is given (a store with ranged reads), only the
+    scheduled slots' chunks travel over the wire; the fallback — and the
+    billing, which is whole-container either way — is the full read.
     """
     started = time.perf_counter()
+    if chunk_reader is not None:
+        chunks = chunk_reader(
+            read.cid, [entries[i].fingerprint for i in read.slots]
+        )
+        if chunks is not None:
+            metrics.observe(
+                "restore.container_read_seconds", time.perf_counter() - started
+            )
+            out: Dict[int, Chunk] = {}
+            for i in read.slots:
+                chunk = chunks[entries[i].fingerprint]
+                if fingerprinter is not None:
+                    verify_chunk(chunk, fingerprinter)
+                out[i] = chunk
+            return out
     container = reader(read.cid)
     metrics.observe("restore.container_read_seconds", time.perf_counter() - started)
-    out: Dict[int, Chunk] = {}
+    out = {}
     for i in read.slots:
         chunk = container.get_chunk(entries[i].fingerprint)
         if fingerprinter is not None:
@@ -98,6 +123,7 @@ def execute_plan_prefetched(
     readahead: Optional[int] = None,
     verify: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    chunk_reader: Optional[ChunkReader] = None,
 ) -> Iterator[Chunk]:
     """Execute a restore plan with a prefetching reader pool.
 
@@ -142,7 +168,7 @@ def execute_plan_prefetched(
                     queue.append(
                         ("read", pool.submit(
                             _fetch_slots, entries, value, reader,
-                            fingerprinter, registry,
+                            fingerprinter, registry, chunk_reader,
                         ))
                     )
                     inflight += 1
@@ -180,6 +206,7 @@ def _execute_serial(
     *,
     verify: bool,
     metrics: MetricsRegistry,
+    chunk_reader: Optional[ChunkReader] = None,
 ) -> Iterator[Chunk]:
     """Single-threaded plan execution with the same timings and checks."""
     fingerprinter = Fingerprinter() if verify else None
@@ -188,7 +215,9 @@ def _execute_serial(
         started = time.perf_counter()
         for read in span.reads:
             pending.update(
-                _fetch_slots(entries, read, reader, fingerprinter, metrics)
+                _fetch_slots(
+                    entries, read, reader, fingerprinter, metrics, chunk_reader
+                )
             )
         metrics.observe("restore.assemble_seconds", time.perf_counter() - started)
         for i in span.emit:
@@ -230,13 +259,16 @@ def restore_stream(
     entries = system.resolved_restore_range(version_id, start, stop, flatten)
     plan = system.restore_scheduler(restorer).plan(entries)
     reader = system._read_container
+    chunk_reader = getattr(system, "_read_container_chunks", None)
     if workers <= 1:
         return _execute_serial(
-            entries, plan, reader, verify=verify, metrics=registry
+            entries, plan, reader, verify=verify, metrics=registry,
+            chunk_reader=chunk_reader,
         )
     return execute_plan_prefetched(
         entries, plan, reader,
         workers=workers, readahead=readahead, verify=verify, metrics=registry,
+        chunk_reader=chunk_reader,
     )
 
 

@@ -20,6 +20,15 @@ class StorageError(ReproError):
     """Container or recipe storage failure."""
 
 
+class ObjectMissingError(StorageError):
+    """A named storage-backend object does not exist.
+
+    The backend-level analogue of :class:`UnknownContainerError`: raised by
+    :class:`~repro.storage.backend.StorageBackend` implementations when a
+    ``get``/``size``/``digest``/``delete`` names an absent object.
+    """
+
+
 class ContainerFullError(StorageError):
     """A chunk did not fit into the container it was directed to."""
 

@@ -114,6 +114,22 @@ class RestoreMixin:
         """Hook: fetch one container (default: the archival store)."""
         return self.containers.read(cid)
 
+    def _read_container_chunks(self, cid, fingerprints):
+        """Hook: fetch only the named chunks of one container, or ``None``.
+
+        Backends that support ranged reads (object stores) serve restore
+        slots without shipping the whole container; stores that don't —
+        or containers that can't be partially read (compressed blobs,
+        in-memory pool containers) — return ``None`` and the caller falls
+        back to :meth:`_read_container`.  Billing is identical either way:
+        a ranged fetch still bills one whole-container read, so IOStats
+        parity with the full-read path holds.
+        """
+        read_chunks = getattr(self.containers, "read_chunks", None)
+        if read_chunks is None:
+            return None
+        return read_chunks(cid, fingerprints)
+
     # ------------------------------------------------------------------
     def resolved_restore_range(
         self,

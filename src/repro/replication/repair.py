@@ -78,8 +78,27 @@ def referenced_container_ids(repo_root: str) -> Set[int]:
     active-pool marker (0) reference no archival file.
     """
     from ..storage.recipe import FileRecipeStore
+    from ..storage.repo import RepoStorage, is_repo_url
 
     referenced: Set[int] = set()
+    if is_repo_url(repo_root):
+        storage = RepoStorage(repo_root)
+        try:
+            recipes = storage.recipe_store()
+            for version_id in recipes.version_ids():
+                for entry in recipes.peek(version_id).entries:
+                    if entry.cid > 0:
+                        referenced.add(entry.cid)
+            if storage.has_checkpoint():
+                try:
+                    document = storage.read_checkpoint_document()
+                    for cids in document.get("deletion_tags", {}).values():
+                        referenced.update(int(cid) for cid in cids)
+                except (ValueError, TypeError, ReproError):
+                    pass  # a damaged checkpoint is verify's problem
+        finally:
+            storage.close()
+        return referenced
     recipes_dir = os.path.join(repo_root, "recipes")
     if os.path.isdir(recipes_dir):
         recipes = FileRecipeStore(recipes_dir)
@@ -105,10 +124,27 @@ def scan_containers(repo_root: str, deep: bool = True) -> Tuple[int, Dict[str, s
     Three defect classes: present-but-unreadable, present-but-payload-
     corrupt (``deep``), and referenced-but-missing.
     """
-    containers_dir = os.path.join(repo_root, "containers")
+    from ..storage.repo import RepoStorage, is_repo_url
+
     bad: Dict[str, str] = {}
     scanned = 0
     present: Set[int] = set()
+    if is_repo_url(repo_root):
+        storage = RepoStorage(repo_root)
+        try:
+            for cid in storage.container_object_ids():
+                scanned += 1
+                present.add(cid)
+                blob = storage.read_object("container", container_name(cid))
+                defect = check_container_blob(blob, cid, deep=deep)
+                if defect is not None:
+                    bad[container_name(cid)] = defect
+        finally:
+            storage.close()
+        for cid in sorted(referenced_container_ids(repo_root) - present):
+            bad[container_name(cid)] = "missing"
+        return scanned, bad
+    containers_dir = os.path.join(repo_root, "containers")
     if os.path.isdir(containers_dir):
         for name in sorted(os.listdir(containers_dir)):
             match = _CONTAINER_RE.match(name)

@@ -38,6 +38,7 @@ from typing import Dict, Optional
 
 from ..errors import ReplicationError
 from ..observability import MetricsRegistry, get_registry
+from ..storage.repo import RepoStorage, is_repo_url
 from .planner import SyncPlan, SyncPlanner
 from .state import blob_digest, capture_state, same_identity, source_identity
 from .targets import ReplicationTarget, read_object
@@ -127,7 +128,12 @@ class ReplicationSession:
         journal: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        if not os.path.isdir(source_root):
+        if is_repo_url(source_root):
+            if not RepoStorage(source_root).exists():
+                raise ReplicationError(
+                    f"source repository {source_root!r} does not exist"
+                )
+        elif not os.path.isdir(source_root):
             raise ReplicationError(f"source repository {source_root!r} does not exist")
         self.source_root = source_root
         self.target = target
@@ -160,7 +166,12 @@ class ReplicationSession:
         if self._journal_arg == "":
             journal = SyncJournal(None)
         elif self._journal_arg is None:
-            journal = SyncJournal(journal_path_for(self.source_root, target_id))
+            # URL-addressed sources have no local directory to journal
+            # under; pass an explicit path to journal those syncs.
+            if is_repo_url(self.source_root):
+                journal = SyncJournal(None)
+            else:
+                journal = SyncJournal(journal_path_for(self.source_root, target_id))
         else:
             journal = SyncJournal(self._journal_arg)
         self.journal_path = journal.path

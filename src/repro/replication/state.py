@@ -33,6 +33,7 @@ from typing import Dict, Iterator, Tuple
 
 from ..errors import ReplicationError
 from ..repository import checkpoint_path, repo_paths
+from ..storage.repo import RepoStorage, is_repo_url
 
 #: Object kinds, in the order they must be shipped (containers are
 #: invisible until a recipe references them; the checkpoint commits last).
@@ -130,7 +131,18 @@ def capture_state(root: str) -> RepoState:
     caller holds the registry's reader lock, or owns the directory
     outright); a mutation between digesting and shipping is caught later by
     the session's read-time digest check.
+
+    ``root`` may be a plain directory (the historical fast path below) or
+    any backend repo spec — URL-addressed repositories snapshot through
+    :meth:`~repro.storage.repo.RepoStorage.state`, which produces the same
+    shape.
     """
+    if is_repo_url(root):
+        storage = RepoStorage(root)
+        try:
+            return storage.state()
+        finally:
+            storage.close()
     containers_dir, recipes_dir, manifests_dir = repo_paths(root)
     state: RepoState = {
         "containers": _scan_dir(containers_dir, "container"),
@@ -182,7 +194,14 @@ def iter_blocks(blob: bytes, block_size: int = 1 << 18) -> Iterator[bytes]:
 
 
 def source_identity(root: str) -> Dict[str, str]:
-    """Where a local repository physically lives, for self-sync detection."""
+    """Where a repository physically lives, for self-sync detection.
+
+    URL-addressed repositories identify by canonical URL (see
+    :meth:`~repro.storage.repo.RepoStorage.identity`); a ``file://`` URL
+    and the bare path it names produce the same identity.
+    """
+    if is_repo_url(root):
+        return RepoStorage(root).identity()
     import socket
 
     return {"host": socket.gethostname(), "path": os.path.realpath(root)}

@@ -24,6 +24,7 @@ import os
 from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..errors import ReplicationError
+from ..storage.repo import RepoStorage, is_repo_url
 from .planner import ObjectRef
 from .state import (
     STAGED_SUFFIX,
@@ -63,7 +64,19 @@ def write_object(root: str, kind: str, name: str, blob: bytes, staged: bool) -> 
     ``*.tmp`` litter the stores already sweep); staged writes go
     ``<path>.staged.tmp`` → ``<path>.staged`` and wait for
     :func:`commit_objects`.
+
+    ``root`` may also be a backend repo spec (URL), in which case the
+    object lands through :class:`~repro.storage.repo.RepoStorage` with the
+    same staging semantics and the returned "path" is the object name.
     """
+    if is_repo_url(root):
+        validate_object(kind, name)
+        storage = RepoStorage(root)
+        try:
+            storage.write_object(kind, name, blob, staged=staged)
+        finally:
+            storage.close()
+        return name + STAGED_SUFFIX if staged else name
     path = object_path(root, kind, name)
     os.makedirs(os.path.dirname(path), exist_ok=True)
     final = path + STAGED_SUFFIX if staged else path
@@ -87,7 +100,21 @@ def commit_objects(root: str, renames: List[ObjectRef], deletes: List[ObjectRef]
     Idempotent by construction, so an interrupted commit can simply be
     re-run: a rename whose staged file is gone but whose final file exists
     already happened; a delete of a missing object already happened.
+
+    ``root`` may also be a backend repo spec (URL) — same semantics via
+    :meth:`~repro.storage.repo.RepoStorage.commit_objects`.
     """
+    if is_repo_url(root):
+        for ref in list(renames) + list(deletes):
+            validate_object(ref.kind, ref.name)
+        storage = RepoStorage(root)
+        try:
+            return storage.commit_objects(
+                [(ref.kind, ref.name) for ref in renames],
+                [(ref.kind, ref.name) for ref in deletes],
+            )
+        finally:
+            storage.close()
     applied = 0
     for ref in renames:
         path = object_path(root, ref.kind, ref.name)
@@ -110,7 +137,18 @@ def commit_objects(root: str, renames: List[ObjectRef], deletes: List[ObjectRef]
 
 
 def read_object(root: str, kind: str, name: str) -> bytes:
-    """Read one replicable object's bytes from a repository directory."""
+    """Read one replicable object's bytes from a repository (path or URL)."""
+    if is_repo_url(root):
+        from ..errors import ObjectMissingError
+
+        validate_object(kind, name)
+        storage = RepoStorage(root)
+        try:
+            return storage.read_object(kind, name)
+        except ObjectMissingError:
+            raise ReplicationError(f"no {kind} object {name!r} in {root}") from None
+        finally:
+            storage.close()
     path = object_path(root, kind, name)
     try:
         with open(path, "rb") as handle:

@@ -29,12 +29,11 @@ import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .chunking import FastCDCChunker
-from .core.checkpoint import load_checkpoint, save_checkpoint
+from .core.checkpoint import checkpoint_document, system_from_document
 from .core.hidestore import HiDeStore
-from .errors import ReproError, RestoreError, VersionNotFoundError
+from .errors import ObjectMissingError, ReproError, RestoreError, VersionNotFoundError
 from .observability import MetricsRegistry, get_registry
-from .storage.container_store import FileContainerStore
-from .storage.recipe import FileRecipeStore
+from .storage.repo import RepoStorage
 
 #: (relative name, byte size) rows describing the files of one snapshot.
 FilePlan = List[Tuple[str, int]]
@@ -59,26 +58,33 @@ def open_repository(
     history_depth: int = 1,
     compress: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    storage: Optional[RepoStorage] = None,
 ) -> HiDeStore:
-    """Open (or initialise) a HiDeStore repository directory.
+    """Open (or initialise) a HiDeStore repository.
 
-    The sealed world lives in ``containers/`` and ``recipes/``; the volatile
-    state (T1 tables, active containers, deletion tags) is reloaded from
-    ``checkpoint.json`` — written after every backup — so physical locality
-    and the version counter survive across invocations.
+    ``repo`` is a repository spec: a plain directory (the historical
+    form), or a backend URL — ``file://PATH``, ``sqlite://PATH.db``,
+    ``s3://HOST:PORT/BUCKET`` — optionally with ``?archive=URL`` sending
+    sealed containers to a second (cold-tier) backend.
+
+    The sealed world lives in the container and recipe stores the spec
+    names; the volatile state (T1 tables, active containers, deletion
+    tags) is reloaded from the ``checkpoint.json`` object — written after
+    every backup — so physical locality and the version counter survive
+    across invocations.
     """
-    containers_dir, recipes_dir, manifests_dir = repo_paths(repo)
-    os.makedirs(manifests_dir, exist_ok=True)
-    checkpoint = checkpoint_path(repo)
-    if os.path.exists(checkpoint):
-        return load_checkpoint(
-            checkpoint,
-            FileContainerStore(containers_dir, compress=compress, metrics=metrics),
-            FileRecipeStore(recipes_dir),
+    if storage is None:
+        storage = RepoStorage(repo, compress=compress, metrics=metrics)
+    storage.prepare()
+    container_store = storage.container_store()
+    recipe_store = storage.recipe_store()
+    if storage.has_checkpoint():
+        return system_from_document(
+            storage.read_checkpoint_document(), container_store, recipe_store
         )
     store = HiDeStore(
-        container_store=FileContainerStore(containers_dir, compress=compress, metrics=metrics),
-        recipe_store=FileRecipeStore(recipes_dir),
+        container_store=container_store,
+        recipe_store=recipe_store,
         history_depth=history_depth,
     )
     existing = store.recipes.version_ids()
@@ -224,6 +230,7 @@ class LocalRepository:
         self.workers = workers
         self.pipeline = pipeline
         self.metrics = metrics if metrics is not None else get_registry()
+        self.storage = RepoStorage(root, compress=compress, metrics=self.metrics)
         self._store: Optional[HiDeStore] = None
         self._open_lock = threading.Lock()
 
@@ -236,6 +243,7 @@ class LocalRepository:
                 self._store = open_repository(
                     self.root, self.history_depth,
                     compress=self.compress, metrics=self.metrics,
+                    storage=self.storage,
                 )
             return self._store
 
@@ -282,7 +290,11 @@ class LocalRepository:
         return store
 
     def _manifest_path(self, version_id: int) -> str:
+        """Manifest file path (plain-directory repositories only)."""
         return os.path.join(repo_paths(self.root)[2], f"manifest-{version_id:08d}.txt")
+
+    def _save_checkpoint(self, store: HiDeStore) -> None:
+        self.storage.write_checkpoint_document(checkpoint_document(store))
 
     # ------------------------------------------------------------------
     # Backup
@@ -379,7 +391,6 @@ class LocalRepository:
 
     def _guarded_backup(self, store: HiDeStore, run, plan: FilePlan) -> Dict:
         """Run one backup attempt; on any failure, roll the repo back."""
-        containers_dir, recipes_dir, _ = repo_paths(self.root)
         mark = store.containers.next_id
         versions_before = set(store.recipes.version_ids())
         latest = store.recipes.latest_version()
@@ -387,17 +398,19 @@ class LocalRepository:
         if latest is not None:
             # The previous recipe is the one chunk-filter maintenance may
             # rewrite in place (§4.3); snapshot it for rollback.
-            prev_path = os.path.join(recipes_dir, f"recipe-{latest:08d}.hdsr")
-            if os.path.exists(prev_path):
-                with open(prev_path, "rb") as handle:
-                    prev_blob = handle.read()
+            try:
+                prev_blob = self.storage.read_object(
+                    "recipe", f"recipe-{latest:08d}.hdsr"
+                )
+            except ObjectMissingError:
+                prev_blob = None
         try:
             report = run()
-            manifest = self._manifest_path(report.version_id)
-            with open(manifest, "w", encoding="utf-8") as handle:
-                for rel, size in plan:
-                    handle.write(f"{size}\t{rel}\n")
-            save_checkpoint(store, checkpoint_path(self.root))
+            self.storage.write_manifest(
+                report.version_id,
+                "".join(f"{size}\t{rel}\n" for rel, size in plan),
+            )
+            self._save_checkpoint(store)
         except BaseException:
             self._rollback(mark, versions_before, latest, prev_blob)
             raise
@@ -422,53 +435,42 @@ class LocalRepository:
 
         Deletes recipes/manifests of versions that were not visible before
         the attempt, restores the previous recipe (in-place chain updates),
-        unlinks container files allocated during the attempt and drops the
-        in-memory engine — the next operation reloads from the checkpoint,
-        which was last written at a good version boundary.
+        removes container objects allocated during the attempt and drops
+        the in-memory engine — the next operation reloads from the
+        checkpoint, which was last written at a good version boundary.
+        Foreign container names (e.g. ``container-backup.hdsc``) are not
+        ours to delete; only the 8-digit IDs from this attempt go.
         """
-        containers_dir, recipes_dir, manifests_dir = repo_paths(self.root)
         with self._open_lock:
             self._store = None
-        if os.path.isdir(recipes_dir):
-            probe = FileRecipeStore(recipes_dir)
-            for vid in probe.version_ids():
-                if vid not in versions_before:
-                    probe.delete(vid)
+        probe = self.storage.recipe_store()
+        for vid in probe.version_ids():
+            if vid not in versions_before:
+                probe.delete(vid)
         if prev_blob is not None and latest is not None:
-            prev_path = os.path.join(recipes_dir, f"recipe-{latest:08d}.hdsr")
-            with open(prev_path, "wb") as handle:
-                handle.write(prev_blob)
-        if os.path.isdir(containers_dir):
-            for name in os.listdir(containers_dir):
-                path = os.path.join(containers_dir, name)
-                if name.endswith(".tmp"):
-                    os.remove(path)
-                elif name.startswith("container-") and name.endswith(".hdsc"):
-                    stem = name[len("container-") : -len(".hdsc")]
-                    # Foreign files (e.g. "container-backup.hdsc") are not
-                    # ours to delete; only numeric IDs from this attempt go.
-                    if stem.isdigit() and int(stem) >= mark:
-                        os.remove(path)
-        if os.path.isdir(manifests_dir):
-            for name in os.listdir(manifests_dir):
-                if name.startswith("manifest-") and name.endswith(".txt"):
-                    stem = name[len("manifest-") : -len(".txt")]
-                    if stem.isdigit() and int(stem) not in versions_before:
-                        os.remove(os.path.join(manifests_dir, name))
+            self.storage.write_object(
+                "recipe", f"recipe-{latest:08d}.hdsr", prev_blob
+            )
+        self.storage.sweep()
+        for cid in self.storage.container_object_ids():
+            if cid >= mark:
+                self.storage.delete_container_object(cid)
+        for vid in self.storage.manifest_ids():
+            if vid not in versions_before:
+                self.storage.delete_manifest(vid)
 
     # ------------------------------------------------------------------
     # Restore
     # ------------------------------------------------------------------
     def restore_plan(self, version_id: int) -> FilePlan:
         """The file boundaries of a stored version (from its manifest)."""
-        manifest = self._manifest_path(version_id)
-        if not os.path.exists(manifest):
+        text = self.storage.read_manifest(version_id)
+        if text is None:
             raise VersionNotFoundError(f"no manifest for version {version_id}")
         plan: FilePlan = []
-        with open(manifest, "r", encoding="utf-8") as handle:
-            for line in handle:
-                size_str, rel = line.rstrip("\n").split("\t", 1)
-                plan.append((rel, int(size_str)))
+        for line in text.splitlines():
+            size_str, rel = line.split("\t", 1)
+            plan.append((rel, int(size_str)))
         return plan
 
     def restore(
@@ -601,11 +603,9 @@ class LocalRepository:
             raise VersionNotFoundError("repository is empty")
         oldest = versions[0]
         stats = store.delete_oldest()
-        manifest = self._manifest_path(oldest)
-        if os.path.exists(manifest):
-            os.remove(manifest)
-        if os.path.exists(checkpoint_path(self.root)):
-            save_checkpoint(store, checkpoint_path(self.root))
+        self.storage.delete_manifest(oldest)
+        if self.storage.has_checkpoint():
+            self._save_checkpoint(store)
         return {
             "version_id": oldest,
             "containers_deleted": stats.containers_deleted,

@@ -7,6 +7,11 @@ One daemon hosts many named repositories under a single root directory::
     <root>/<repo-name>/manifests/…
     <root>/<repo-name>/checkpoint.json
 
+The root may equally be a backend URL (:mod:`repro.storage.backend`):
+``sqlite://`` roots keep one ``<name>.db`` per tenant, object-store roots
+one key prefix per tenant, and a ``?archive=URL`` cold tier fans out with
+the same per-tenant suffix (see :meth:`RepoLocation.child`).
+
 Each repository carries an async :class:`ReadWriteLock`: ingest and
 deletion take the *write* side (serialised — HiDeStore's double cache
 deduplicates a version against its predecessor, so concurrent writers to
@@ -27,6 +32,8 @@ from typing import Dict, List
 from ..errors import RemoteError
 from ..observability import MetricsRegistry
 from ..repository import LocalRepository
+from ..storage.backend import RepoLocation, parse_repo_spec
+from ..storage.repo import is_repo_url
 
 #: Tenant names: filesystem-safe, no traversal, no hidden dirs.
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -141,7 +148,18 @@ class RepositoryRegistry:
         self.history_depth = history_depth
         self.compress = compress
         self.metrics = metrics
-        os.makedirs(root, exist_ok=True)
+        #: Parsed location for backend-URL roots; ``None`` keeps the
+        #: historical directory-per-tenant fast path below.
+        self.location: "RepoLocation | None" = (
+            parse_repo_spec(root) if is_repo_url(root) else None
+        )
+        if self.location is None:
+            os.makedirs(root, exist_ok=True)
+        elif self.location.scheme in ("file", "sqlite"):
+            # Both schemes key tenants off a local directory (per-tenant
+            # subdirectory / per-tenant .db file); object stores need no
+            # local skeleton.
+            os.makedirs(self.location.path, exist_ok=True)
         self._handles: Dict[str, RepoHandle] = {}
         self._lock = threading.Lock()
 
@@ -161,9 +179,14 @@ class RepositoryRegistry:
             handle = self._handles.get(name)
             if handle is not None:
                 return handle
-            repo_root = os.path.join(self.root, name)
-            if not create and not os.path.isdir(repo_root):
-                raise RemoteError(f"unknown repository {name!r}")
+            if self.location is None:
+                repo_root = os.path.join(self.root, name)
+                if not create and not os.path.isdir(repo_root):
+                    raise RemoteError(f"unknown repository {name!r}")
+            else:
+                repo_root = self.location.child(name)
+                if not create and not parse_repo_spec(repo_root).exists():
+                    raise RemoteError(f"unknown repository {name!r}")
             handle = RepoHandle(
                 name, repo_root, self.history_depth, self.compress, self.metrics
             )
@@ -171,9 +194,14 @@ class RepositoryRegistry:
             return handle
 
     def repo_names(self) -> List[str]:
-        """Every hosted repository: on disk plus opened this session."""
+        """Every hosted repository: on the backend plus opened this session."""
         names = set(self._handles)
-        if os.path.isdir(self.root):
+        if self.location is not None:
+            names.update(
+                entry for entry in self.location.tenant_names()
+                if _NAME_RE.match(entry)
+            )
+        elif os.path.isdir(self.root):
             for entry in os.listdir(self.root):
                 if _NAME_RE.match(entry) and os.path.isdir(os.path.join(self.root, entry)):
                     names.add(entry)

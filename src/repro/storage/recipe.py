@@ -207,6 +207,64 @@ class MemoryRecipeStore(RecipeStore):
         return sorted(self._recipes)
 
 
+class BackendRecipeStore(RecipeStore):
+    """Recipes as named mutable blobs on a :class:`StorageBackend`.
+
+    Recipes are *metadata* (HiDeStore rewrites them when updating the
+    §4.3 chain), so writes go through the backend's mutable
+    ``put_meta`` surface rather than the immutable ``put``.
+    """
+
+    def __init__(self, backend, stats: Optional[IOStats] = None, prefix: str = "") -> None:
+        super().__init__(stats)
+        self.backend = backend
+        self.prefix = prefix
+
+    def _name(self, version_id: int) -> str:
+        return f"{self.prefix}recipe-{version_id:08d}.hdsr"
+
+    def write(self, recipe: Recipe) -> None:
+        blob = pack_recipe(recipe)
+        self.backend.put_meta(self._name(recipe.version_id), blob)
+        self.stats.note_recipe_write(len(blob))
+
+    def read(self, version_id: int) -> Recipe:
+        recipe = self.peek(version_id)
+        self.stats.note_recipe_read(recipe.byte_size)
+        return recipe
+
+    def peek(self, version_id: int) -> Recipe:
+        from ..errors import ObjectMissingError
+
+        try:
+            blob = self.backend.get(self._name(version_id))
+        except ObjectMissingError:
+            raise RecipeError(f"no recipe for version {version_id}") from None
+        return unpack_recipe(blob)
+
+    def delete(self, version_id: int) -> None:
+        from ..errors import ObjectMissingError
+
+        try:
+            self.backend.delete(self._name(version_id))
+        except ObjectMissingError:
+            raise RecipeError(f"no recipe for version {version_id}") from None
+
+    def __contains__(self, version_id: int) -> bool:
+        return self.backend.exists(self._name(version_id))
+
+    def version_ids(self) -> List[int]:
+        ids = []
+        start = len(self.prefix)
+        for name in self.backend.list(self.prefix):
+            short = name[start:]
+            if short.startswith("recipe-") and short.endswith(".hdsr"):
+                stem = short[len("recipe-") : -len(".hdsr")]
+                if stem.isdigit():
+                    ids.append(int(stem))
+        return sorted(ids)
+
+
 class FileRecipeStore(RecipeStore):
     """One binary file per recipe under ``root`` (CLI / examples backend)."""
 

@@ -1,0 +1,344 @@
+"""Repository storage composition: one place that knows where bytes live.
+
+A repository is four object kinds — containers, recipes, manifests, the
+checkpoint — and :class:`RepoStorage` maps each kind onto the storage
+backends a repo spec names (see :class:`~repro.storage.backend.
+RepoLocation`).  The default mapping puts everything on the primary
+backend; a spec with ``?archive=URL`` sends the **sealed containers** to
+the archive backend (the cold tier) while the mutable metadata stays on
+the primary (hot) backend — safe precisely because sealed containers are
+immutable (§4.2), so a container object reads identically from any tier.
+
+Plain ``file://`` repositories keep the historical directory layout and
+the historical store classes (:class:`FileContainerStore`,
+:class:`FileRecipeStore`), so a pre-backend repository opens unchanged and
+a new one is byte-identical to what older versions wrote.
+
+Beyond the engine stores, this module exposes the *replicable-object*
+surface (read/write/commit/state by kind + name) that replication,
+repair, and backup rollback drive — one implementation for every
+backend instead of the file-only helpers they grew up with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ObjectMissingError, ReplicationError, ReproError
+from ..observability import MetricsRegistry, get_registry
+from .backend import RepoLocation, StorageBackend, parse_repo_spec
+from .container_store import BackendContainerStore, ContainerStore, FileContainerStore
+from .recipe import BackendRecipeStore, FileRecipeStore, RecipeStore
+
+__all__ = ["RepoStorage", "is_repo_url", "KINDS", "STAGED_SUFFIX"]
+
+#: Replicable object kinds (ship order: containers are invisible until a
+#: recipe references them; the checkpoint commits last).
+KINDS = ("container", "manifest", "recipe", "checkpoint")
+
+#: Suffix of staged (shipped but not yet committed) mirror objects.
+STAGED_SUFFIX = ".staged"
+
+_PREFIXES = {
+    "container": "containers/",
+    "recipe": "recipes/",
+    "manifest": "manifests/",
+    "checkpoint": "",
+}
+
+_PATTERNS = {
+    "container": re.compile(r"^container-(\d{8})\.hdsc$"),
+    "recipe": re.compile(r"^recipe-(\d{8})\.hdsr$"),
+    "manifest": re.compile(r"^manifest-(\d{8})\.txt$"),
+    "checkpoint": re.compile(r"^checkpoint\.json$"),
+}
+
+
+def is_repo_url(spec: str) -> bool:
+    """Whether a repo spec needs backend routing (URL scheme or options).
+
+    Bare directory paths — the historical form — return ``False`` and keep
+    the direct-filesystem code paths everywhere.
+    """
+    return "://" in spec or "?archive=" in spec
+
+
+class RepoStorage:
+    """All reads and writes of one repository's objects, by kind.
+
+    Args:
+        spec: a repo spec string or a parsed :class:`RepoLocation`.
+        compress: zlib-compress container blobs (engine stores only).
+        metrics: registry forwarded to the container store.
+    """
+
+    def __init__(
+        self,
+        spec: Union[str, RepoLocation],
+        compress: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.location = spec if isinstance(spec, RepoLocation) else parse_repo_spec(spec)
+        self.compress = compress
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._primary: Optional[StorageBackend] = None
+        self._archive: Optional[StorageBackend] = None
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    @property
+    def is_plain_file(self) -> bool:
+        """Single-tier ``file://`` repository: the historical layout."""
+        return self.location.is_file
+
+    def primary(self) -> StorageBackend:
+        if self._primary is None:
+            self._primary = self.location.open_primary()
+        return self._primary
+
+    def container_backend(self) -> StorageBackend:
+        """Where sealed containers live: the cold tier when one is named."""
+        if self.location.archive_url is None:
+            return self.primary()
+        if self._archive is None:
+            self._archive = self.location.open_archive()
+        return self._archive
+
+    def _backend_for(self, kind: str) -> StorageBackend:
+        return self.container_backend() if kind == "container" else self.primary()
+
+    def _object_name(self, kind: str, name: str) -> str:
+        pattern = _PATTERNS.get(kind)
+        if pattern is None:
+            raise ReplicationError(f"unknown replication object kind {kind!r}")
+        if not isinstance(name, str) or not pattern.match(name):
+            raise ReplicationError(f"invalid {kind} object name {name!r}")
+        return _PREFIXES[kind] + name
+
+    def prepare(self) -> None:
+        """Create the directory skeleton a fresh file repository expects."""
+        if self.location.scheme == "file":
+            os.makedirs(os.path.join(self.location.path, "manifests"), exist_ok=True)
+
+    def close(self) -> None:
+        for backend in (self._primary, self._archive):
+            if backend is not None:
+                backend.close()
+        self._primary = self._archive = None
+
+    def exists(self) -> bool:
+        return self.location.exists()
+
+    # ------------------------------------------------------------------
+    # Engine stores
+    # ------------------------------------------------------------------
+    def container_store(self) -> ContainerStore:
+        if self.is_plain_file:
+            return FileContainerStore(
+                os.path.join(self.location.path, "containers"),
+                compress=self.compress,
+                metrics=self.metrics,
+            )
+        return BackendContainerStore(
+            self.container_backend(),
+            compress=self.compress,
+            metrics=self.metrics,
+            prefix=_PREFIXES["container"],
+        )
+
+    def recipe_store(self) -> RecipeStore:
+        if self.is_plain_file or self.location.scheme == "file":
+            return FileRecipeStore(os.path.join(self.location.path, "recipes"))
+        return BackendRecipeStore(self.primary(), prefix=_PREFIXES["recipe"])
+
+    # ------------------------------------------------------------------
+    # Manifests
+    # ------------------------------------------------------------------
+    @staticmethod
+    def manifest_name(version_id: int) -> str:
+        return f"manifest-{version_id:08d}.txt"
+
+    def write_manifest(self, version_id: int, text: str) -> None:
+        name = self._object_name("manifest", self.manifest_name(version_id))
+        self.primary().put_meta(name, text.encode("utf-8"))
+
+    def read_manifest(self, version_id: int) -> Optional[str]:
+        name = self._object_name("manifest", self.manifest_name(version_id))
+        try:
+            return self.primary().get(name).decode("utf-8")
+        except ObjectMissingError:
+            return None
+
+    def delete_manifest(self, version_id: int) -> None:
+        name = self._object_name("manifest", self.manifest_name(version_id))
+        try:
+            self.primary().delete(name)
+        except ObjectMissingError:
+            pass
+
+    def manifest_ids(self) -> List[int]:
+        ids = []
+        prefix = _PREFIXES["manifest"]
+        for name in self.primary().list(prefix):
+            match = _PATTERNS["manifest"].match(name[len(prefix) :])
+            if match:
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+    def has_checkpoint(self) -> bool:
+        return self.primary().exists("checkpoint.json")
+
+    def read_checkpoint_document(self) -> Dict:
+        try:
+            blob = self.primary().get("checkpoint.json")
+        except ObjectMissingError:
+            raise ReproError(f"no checkpoint in {self.location.spec}") from None
+        return json.loads(blob.decode("utf-8"))
+
+    def write_checkpoint_document(self, document: Dict) -> None:
+        self.primary().put_meta("checkpoint.json", json.dumps(document).encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Replicable-object surface (replication / repair / rollback)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Dict[str, Dict]]:
+        """Snapshot the repository's replicable objects (a ``RepoState``).
+
+        Containers carry size only (immutable once visible; presence +
+        size is the whole identity), digest-bearing kinds carry both —
+        the same shape :func:`repro.replication.state.capture_state`
+        produces for plain directories.
+        """
+        state: Dict[str, Dict[str, Dict]] = {
+            "containers": {},
+            "recipes": {},
+            "manifests": {},
+            "checkpoint": {},
+        }
+        backend = self.container_backend()
+        prefix = _PREFIXES["container"]
+        for name in backend.list(prefix):
+            short = name[len(prefix) :]
+            if _PATTERNS["container"].match(short):
+                state["containers"][short] = {"size": backend.size(name)}
+        primary = self.primary()
+        for kind, section in (("recipe", "recipes"), ("manifest", "manifests")):
+            prefix = _PREFIXES[kind]
+            for name in primary.list(prefix):
+                short = name[len(prefix) :]
+                if _PATTERNS[kind].match(short):
+                    state[section][short] = {
+                        "size": primary.size(name),
+                        "digest": primary.digest(name),
+                    }
+        if primary.exists("checkpoint.json"):
+            state["checkpoint"]["checkpoint.json"] = {
+                "size": primary.size("checkpoint.json"),
+                "digest": primary.digest("checkpoint.json"),
+            }
+        return state
+
+    def identity(self) -> Dict[str, str]:
+        """Where this repository physically lives, for self-sync detection.
+
+        ``file://`` repositories keep the historical host + realpath form
+        (so a URL spec and the bare path it names compare equal); other
+        schemes use an empty host plus the canonical URL — an address that
+        is the same from every client machine, which is exactly the
+        self-sync question for shared backends.
+        """
+        if self.location.scheme == "file":
+            return {
+                "host": socket.gethostname(),
+                "path": os.path.realpath(self.location.path),
+            }
+        return {"host": "", "path": self.location.canonical_url()}
+
+    def read_object(self, kind: str, name: str) -> bytes:
+        return self._backend_for(kind).get(self._object_name(kind, name))
+
+    def object_exists(self, kind: str, name: str) -> bool:
+        return self._backend_for(kind).exists(self._object_name(kind, name))
+
+    def write_object(self, kind: str, name: str, blob: bytes, staged: bool = False) -> None:
+        """Atomically land one object (optionally as ``*.staged``).
+
+        Mirror-side writes replace — repair lands a validated blob over a
+        damaged container, recipes/checkpoint rewrite by design —
+        immutability of live containers is enforced by the container
+        store, not here.
+        """
+        target = self._object_name(kind, name)
+        if staged:
+            target += STAGED_SUFFIX
+        self._backend_for(kind).put_meta(target, blob)
+
+    def delete_object(self, kind: str, name: str) -> None:
+        try:
+            self._backend_for(kind).delete(self._object_name(kind, name))
+        except ObjectMissingError:
+            pass
+
+    def commit_objects(
+        self, renames: List[Tuple[str, str]], deletes: List[Tuple[str, str]]
+    ) -> int:
+        """Flip staged objects live and apply deletions; returns ops applied.
+
+        Idempotent: a rename whose staged object is gone but whose final
+        object exists already happened; a delete of a missing object
+        already happened.
+        """
+        applied = 0
+        for kind, name in renames:
+            target = self._object_name(kind, name)
+            backend = self._backend_for(kind)
+            if backend.exists(target + STAGED_SUFFIX):
+                backend.rename(target + STAGED_SUFFIX, target)
+                applied += 1
+            elif not backend.exists(target):
+                raise ReplicationError(
+                    f"commit: no staged or final {kind} {name!r} on the mirror"
+                )
+        for kind, name in deletes:
+            target = self._object_name(kind, name)
+            try:
+                self._backend_for(kind).delete(target)
+                applied += 1
+            except ObjectMissingError:
+                pass
+        return applied
+
+    # ------------------------------------------------------------------
+    # Container-object helpers (rollback / repair scans)
+    # ------------------------------------------------------------------
+    def container_object_ids(self) -> List[int]:
+        """IDs of container objects present, straight off the backend."""
+        backend = self.container_backend()
+        prefix = _PREFIXES["container"]
+        ids = []
+        for name in backend.list(prefix):
+            match = _PATTERNS["container"].match(name[len(prefix) :])
+            if match:
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    def delete_container_object(self, container_id: int) -> None:
+        name = _PREFIXES["container"] + f"container-{container_id:08d}.hdsc"
+        try:
+            self.container_backend().delete(name)
+        except ObjectMissingError:
+            pass
+
+    def sweep(self) -> None:
+        """Remove crash litter on every backend this repository uses."""
+        self.primary().sweep_tmp()
+        if self.location.archive_url is not None:
+            self.container_backend().sweep_tmp()
