@@ -143,6 +143,13 @@ def test_replication_sync_local(tmp_path, benchmark):
     benchmark.pedantic(run, rounds=1, iterations=1)
     doc = _report("Replication sync, local mirror directory", phases)
     doc["metrics"] = metrics.snapshot().get("counters", {})
+    # Dimensionless O(delta) ratio for the regression gate: how many times
+    # smaller the incremental ship-set is than the seed's.  A drop means
+    # incremental syncs started re-shipping unchanged objects.
+    doc["seed_over_incremental_shipped"] = (
+        phases["seed"][0].objects_shipped
+        / max(1, phases["incremental"][0].objects_shipped)
+    )
     write_bench_json("replication", doc)
 
 

@@ -19,7 +19,7 @@ import random
 import threading
 import time
 
-from common import emit, table
+from common import emit, table, write_bench_json
 from repro.client import RemoteRepository
 from repro.observability import JsonEventLogger, MetricsRegistry
 from repro.server import DaemonThread
@@ -122,6 +122,17 @@ def test_server_ingest_scaling(benchmark, tmp_path):
     emit(
         f"concurrent/solo aggregate throughput: {mbps['many'] / mbps['one']:.2f}x"
     )
+    write_bench_json(
+        "server_throughput",
+        {
+            "clients": CLIENTS,
+            "versions": VERSIONS,
+            "version_bytes": VERSION_BYTES,
+            "one": {"seconds": results["one"][0], "aggregate_mbps": mbps["one"]},
+            "many": {"seconds": results["many"][0], "aggregate_mbps": mbps["many"]},
+            "speedup_concurrent": mbps["many"] / mbps["one"],
+        },
+    )
 
     # Concurrency must help, not serialise: N tenants together must beat a
     # single client's throughput (conservative floor — CI boxes vary).
@@ -198,4 +209,14 @@ def test_observability_overhead(benchmark, tmp_path):
         f"{VERSION_BYTES / MiB:.0f} MB, best of {OVERHEAD_ROUNDS}",
     )
     emit(f"observability overhead: {overhead:+.1%} (budget {OVERHEAD_BUDGET:.0%})")
+    write_bench_json(
+        "observability_overhead",
+        {
+            "rounds": OVERHEAD_ROUNDS,
+            "best_on_seconds": best_on,
+            "best_off_seconds": best_off,
+            "overhead": overhead,
+            "budget": OVERHEAD_BUDGET,
+        },
+    )
     assert overhead <= OVERHEAD_BUDGET

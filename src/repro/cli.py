@@ -79,22 +79,45 @@ _LOCAL_ONLY_DEFAULTS = {
 }
 
 
+def _reject_local_flags(flag: str, local_kwargs: dict) -> None:
+    clashing = [
+        "--" + key.replace("_", "-")
+        for key, default in _LOCAL_ONLY_DEFAULTS.items()
+        if local_kwargs.get(key, default) != default
+    ]
+    if clashing:
+        raise ReproError(
+            f"{', '.join(clashing)} configure the local engine and have "
+            f"no effect over {flag}; the server sets them via "
+            "'hidestore serve'"
+        )
+
+
+def _cluster_client(spec: str):
+    """A :class:`ClusterClient` from ``--cluster``'s argument: either a
+    comma-separated seed list (``host:p1,host:p2``) or a spec-file path."""
+    import os
+
+    from .cluster import ClusterClient, ClusterMap
+
+    if os.path.exists(spec):
+        cmap = ClusterMap.load(spec)
+        return ClusterClient([n.address for n in cmap.nodes], cluster_map=cmap)
+    return ClusterClient(spec.split(","))
+
+
 def _open_target(args: argparse.Namespace, **local_kwargs):
-    """The repository front end a command talks to: local dir or daemon."""
+    """The repository front end a command talks to: local dir, daemon,
+    or cluster router."""
+    if getattr(args, "cluster", None):
+        if getattr(args, "remote", None):
+            raise ReproError("--remote and --cluster are mutually exclusive")
+        _reject_local_flags("--cluster", local_kwargs)
+        return _cluster_client(args.cluster).repo(args.repo)
     if getattr(args, "remote", None):
         from .client import RemoteRepository
 
-        clashing = [
-            "--" + key.replace("_", "-")
-            for key, default in _LOCAL_ONLY_DEFAULTS.items()
-            if local_kwargs.get(key, default) != default
-        ]
-        if clashing:
-            raise ReproError(
-                f"{', '.join(clashing)} configure the local engine and have "
-                "no effect over --remote; the server sets them via "
-                "'hidestore serve'"
-            )
+        _reject_local_flags("--remote", local_kwargs)
         return RemoteRepository(args.remote, args.repo)
     return LocalRepository(args.repo, **local_kwargs)
 
@@ -176,7 +199,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
               f"{format_bytes(counters['bytes_ingested'])} ingested, "
               f"{format_bytes(counters['bytes_restored'])} restored")
     if args.metrics:
-        if getattr(args, "remote", None):
+        if getattr(args, "remote", None) or getattr(args, "cluster", None):
             metrics = stats.get("metrics", {})
             if not metrics:
                 print("error: server does not report metrics", file=sys.stderr)
@@ -194,8 +217,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
                       "operation first or query a daemon with --remote")
         _print_metrics(metrics)
     if args.detail:
-        if getattr(args, "remote", None):
-            print("error: --detail is not available over --remote", file=sys.stderr)
+        if getattr(args, "remote", None) or getattr(args, "cluster", None):
+            print("error: --detail is not available over --remote/--cluster",
+                  file=sys.stderr)
             return 1
         from .analysis import fragmentation_growth
 
@@ -253,14 +277,21 @@ def cmd_delete_oldest(args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     """Integrity-check a repository; non-zero exit on any failure."""
-    if getattr(args, "remote", None):
-        from .client import RemoteRepository
+    if getattr(args, "cluster", None) or getattr(args, "remote", None):
+        if getattr(args, "cluster", None):
+            if getattr(args, "remote", None):
+                raise ReproError("--remote and --cluster are mutually exclusive")
+            remote = _cluster_client(args.cluster).repo(args.repo)
+        else:
+            from .client import RemoteRepository
 
-        remote = RemoteRepository(args.remote, args.repo)
+            remote = RemoteRepository(args.remote, args.repo)
         try:
             doc = remote.verify(deep=args.deep)
         finally:
-            remote.close()
+            close = getattr(remote, "close", None)
+            if close is not None:
+                close()
         print(doc.get("summary", "no report"))
         issues = list(doc.get("issues", []))
         ok = bool(doc.get("ok", False))
@@ -339,6 +370,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     host, port = parse_address(args.address)
     event_log = open_event_log(args.log_json, source="daemon")
+    cluster_map = None
+    if getattr(args, "cluster_map", None):
+        from .cluster import ClusterMap
+
+        cluster_map = ClusterMap.load(args.cluster_map)
     daemon = BackupDaemon(
         args.root,
         host=host,
@@ -350,6 +386,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         restore_workers=args.restore_workers,
         event_log=event_log,
         metrics_interval=args.metrics_interval,
+        cluster_map=cluster_map,
+        node_name=getattr(args, "node", None),
+        replicate_interval=getattr(args, "replicate_interval", 0.0),
     )
 
     async def run() -> None:
@@ -378,6 +417,162 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     finally:
         event_log.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Cluster operations (sharded multi-daemon deployments)
+# ----------------------------------------------------------------------
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """Spawn one daemon process per node in a cluster spec and supervise."""
+    import os
+    import signal
+    import time
+
+    from .cluster import ClusterMap, ClusterSupervisor, assign_ports
+
+    cmap = ClusterMap.load(args.spec)
+    materialized = assign_ports(cmap)
+    if [n.address for n in materialized.nodes] != [n.address for n in cmap.nodes]:
+        # :0 ports got real numbers; persist them so clients can route.
+        materialized.save(args.spec)
+        cmap = materialized
+    log_dir = args.log_dir
+    if log_dir:
+        os.makedirs(log_dir, exist_ok=True)
+    supervisor = ClusterSupervisor(
+        cmap, args.spec, replicate_interval=args.replicate_interval,
+    )
+    stopping = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stopping.append(True))
+    # Spawn node-by-node so each child can get its own log file.
+    try:
+        from .cluster.supervisor import DaemonProcess
+
+        for node in cmap.nodes:
+            log_json = os.path.join(log_dir, f"{node.name}.jsonl") if log_dir else None
+            supervisor.daemons[node.name] = DaemonProcess(
+                node, args.spec,
+                replicate_interval=args.replicate_interval,
+                log_json=log_json,
+            )
+        for daemon in supervisor.daemons.values():
+            daemon.wait_ready()
+    except BaseException:
+        supervisor.stop()
+        raise
+    print(
+        f"cluster up: {len(cmap.nodes)} daemons, epoch {cmap.epoch}, "
+        f"replicas {cmap.replicas}",
+        flush=True,
+    )
+    for node in cmap.nodes:
+        print(f"  {node.name}: {node.address} (root {node.root})", flush=True)
+    try:
+        while not stopping:
+            time.sleep(0.2)
+            for name, daemon in supervisor.daemons.items():
+                if not daemon.alive and not getattr(daemon, "_reported", False):
+                    daemon._reported = True
+                    print(
+                        f"warning: daemon {name} exited with "
+                        f"{daemon.process.returncode} (not restarting; restore "
+                        "traffic fails over to its replicas)",
+                        flush=True,
+                    )
+    finally:
+        print("stopping cluster...", flush=True)
+        supervisor.stop()
+    print("cluster stopped", flush=True)
+    return 0
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Per-node liveness, tenants and (optionally) cluster metrics."""
+    client = _cluster_client(args.seeds)
+    try:
+        doc = client.status(with_metrics=args.metrics)
+    finally:
+        client.close()
+    print(f"cluster epoch {doc['epoch']}, replicas {doc['replicas']}")
+    exit_code = 0
+    for row in doc["nodes"]:
+        if not row.get("alive"):
+            print(f"  {row['name']:<10s} {row['address']:<22s} DOWN ({row['error']})")
+            exit_code = 1
+            continue
+        drain = " draining" if row.get("draining") else ""
+        print(
+            f"  {row['name']:<10s} {row['address']:<22s} up{drain} "
+            f"epoch={row['epoch']} tenants={len(row['tenants'])} "
+            f"conns={row['active_connections']} "
+            f"uptime={row['uptime_seconds']}s"
+        )
+        if row["tenants"]:
+            print(f"             tenants: {', '.join(row['tenants'])}")
+        for name, value in row.get("cluster_metrics", {}).items():
+            print(f"             {name:<32s} {value}")
+    return exit_code
+
+
+def cmd_cluster_sync(args: argparse.Namespace) -> int:
+    """Ask every node to replicate its primary-owned tenants now."""
+    client = _cluster_client(args.seeds)
+    try:
+        reports = client.sync_all()
+    finally:
+        client.close()
+    failures = 0
+    for report in reports:
+        node = report.get("node", "?")
+        if "error" in report:
+            print(f"  {node}: FAILED ({report['error']})")
+            failures += 1
+            continue
+        synced = report.get("synced", {})
+        errors = report.get("errors", {})
+        detail = ", ".join(
+            f"{tenant}->{'/'.join(sorted(copies)) or 'no successors'}"
+            for tenant, copies in sorted(synced.items())
+        ) or "nothing owned"
+        print(f"  {node}: {detail}")
+        for pair, message in sorted(errors.items()):
+            print(f"    FAILED {pair}: {message}")
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_cluster_rebalance(args: argparse.Namespace) -> int:
+    """Move only the tenants whose ring ownership changed between specs."""
+    from .cluster import ClusterClient, ClusterMap, ClusterRebalancer
+
+    old = ClusterMap.load(args.old_spec)
+    new = ClusterMap.load(args.new_spec)
+    if new.epoch <= old.epoch:
+        new = ClusterMap(new.nodes, epoch=old.epoch + 1,
+                         replicas=new.replicas, vnodes=new.vnodes)
+        new.save(args.new_spec)
+        print(f"bumped new spec to epoch {new.epoch} (must exceed {old.epoch})")
+    client = ClusterClient([n.address for n in new.nodes], cluster_map=new)
+    try:
+        report = ClusterRebalancer(client, old, new).run()
+    finally:
+        client.close()
+    print(
+        f"rebalance epoch {report['old_epoch']} -> {report['new_epoch']}: "
+        f"{report['tenants_moved']} of {report['tenants_checked']} tenants "
+        f"moved in {report['duration_seconds']}s"
+    )
+    for move in report["moves"]:
+        shipped = sum(c["bytes_shipped"] for c in move["copies"])
+        print(
+            f"  {move['tenant']}: {'/'.join(move['old'])} -> "
+            f"{'/'.join(move['new'])} ({format_bytes(shipped)} shipped, "
+            f"verified, dropped from {', '.join(move['dropped']) or 'nowhere'})"
+        )
+    if report["unchanged"]:
+        print(f"  unchanged: {', '.join(report['unchanged'])}")
     return 0
 
 
@@ -475,6 +670,18 @@ def _add_remote_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cluster_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cluster",
+        metavar="SEEDS|SPEC",
+        default=None,
+        help="route through a sharded cluster instead of one daemon: "
+             "comma-separated seed addresses (host:p1,host:p2) or a "
+             "cluster spec file; <repo> is placed on its ring primary, "
+             "and idempotent reads fail over to replicas",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -500,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "with ingest (the paper's §5.4 pipeline); implies "
                         "per-file chunking like --workers > 1")
     _add_remote_flag(p)
+    _add_cluster_flag(p)
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help="restore a version into a directory")
@@ -519,11 +727,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restore only this file from the snapshot (reads "
                         "just the containers covering it)")
     _add_remote_flag(p)
+    _add_cluster_flag(p)
     p.set_defaults(func=cmd_restore)
 
     p = sub.add_parser("versions", help="list stored versions")
     p.add_argument("repo", help=_REPO_SPEC_HELP)
     _add_remote_flag(p)
+    _add_cluster_flag(p)
     p.set_defaults(func=cmd_versions)
 
     p = sub.add_parser("stats", help="repository statistics")
@@ -534,11 +744,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="operation latency histograms (p50/p95/p99) and "
                         "counters; remote: the server's metrics snapshot")
     _add_remote_flag(p)
+    _add_cluster_flag(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("delete-oldest", help="expire the oldest version")
     p.add_argument("repo", help=_REPO_SPEC_HELP)
     _add_remote_flag(p)
+    _add_cluster_flag(p)
     p.set_defaults(func=cmd_delete_oldest)
 
     p = sub.add_parser("verify", help="integrity-check the repository")
@@ -547,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also re-hash every stored chunk payload and "
                         "container file (catches silent bit-flips)")
     _add_remote_flag(p)
+    _add_cluster_flag(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -606,7 +819,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-interval", type=float, default=0.0,
                    help="seconds between periodic metrics_report events in "
                         "the JSON log (0 disables)")
+    p.add_argument("--cluster-map", metavar="SPEC", default=None,
+                   help="join a sharded cluster: path to the cluster spec "
+                        "(epoch, replicas, node list); served to clients "
+                        "over the CLUSTER_MAP frame")
+    p.add_argument("--node", metavar="NAME", default=None,
+                   help="this daemon's node name inside --cluster-map")
+    p.add_argument("--replicate-interval", type=float, default=0.0,
+                   help="seconds between automatic replica syncs of "
+                        "primary-owned tenants to their ring successors "
+                        "(0 disables; needs --cluster-map and --node)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cluster", help="sharded multi-daemon cluster operations")
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    p = cluster_sub.add_parser(
+        "serve", help="spawn one daemon process per node in a cluster spec")
+    p.add_argument("spec", help="cluster spec JSON (epoch, replicas, nodes "
+                                "with name/address/root); ':0' ports are "
+                                "materialised and written back")
+    p.add_argument("--replicate-interval", type=float, default=0.0,
+                   help="per-daemon automatic replica-sync interval in "
+                        "seconds (0 disables)")
+    p.add_argument("--log-dir", metavar="DIR", default=None,
+                   help="write one JSON-lines event log per daemon "
+                        "(<DIR>/<node>.jsonl)")
+    p.set_defaults(func=cmd_cluster_serve)
+
+    p = cluster_sub.add_parser(
+        "status", help="per-node liveness, tenants and cluster metrics")
+    p.add_argument("seeds", metavar="SEEDS|SPEC",
+                   help="comma-separated daemon addresses or a spec file")
+    p.add_argument("--metrics", action="store_true",
+                   help="show each node's cluster.* counters (requests "
+                        "routed, failovers, tenants moved, replica syncs)")
+    p.set_defaults(func=cmd_cluster_status)
+
+    p = cluster_sub.add_parser(
+        "sync", help="replicate every primary-owned tenant to its successors")
+    p.add_argument("seeds", metavar="SEEDS|SPEC",
+                   help="comma-separated daemon addresses or a spec file")
+    p.set_defaults(func=cmd_cluster_sync)
+
+    p = cluster_sub.add_parser(
+        "rebalance",
+        help="move only the tenants whose ring ownership changed between "
+             "two specs (deep-verifies before dropping old copies)")
+    p.add_argument("old_spec", help="the spec the data was placed under")
+    p.add_argument("new_spec", help="the target spec (daemons must be "
+                                    "running on it); epoch is auto-bumped "
+                                    "if not already above the old spec's")
+    p.set_defaults(func=cmd_cluster_rebalance)
 
     p = sub.add_parser(
         "fake-s3",

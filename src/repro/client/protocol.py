@@ -21,7 +21,10 @@ restores stream ``RESTORE_META`` → ``CHUNK_DATA``\\ * → ``RESTORE_END``.
 Replication ships repository objects to a mirror daemon
 (``REPLICATE_STATE`` / ``REPLICATE_PUT`` / ``REPLICATE_COMMIT``) and reads
 them back for repair (``REPLICATE_FETCH``); object bodies stream as
-``CHUNK_DATA`` frames totalling the announced size.
+``CHUNK_DATA`` frames totalling the announced size.  Cluster deployments
+add ``CLUSTER_MAP`` (fetch the daemon's versioned membership document),
+``CLUSTER_SYNC`` (ask a primary to replicate its owned tenants to their
+ring successors) and ``TENANT_DROP`` (rebalance cleanup).
 Failures travel as ``ERROR`` frames carrying the :class:`ReproError`
 taxonomy by class name, so the client re-raises the exact exception type
 the server hit (:func:`repro.errors.error_by_name`).
@@ -88,6 +91,18 @@ class FrameType(IntEnum):
     REPLICATE_OBJECT = 25
     VERIFY = 26
     VERIFY_OK = 27
+    # Cluster vocabulary (sharded multi-daemon deployments).  CLUSTER_MAP
+    # returns the daemon's versioned membership document (or null when the
+    # daemon is not part of a cluster); CLUSTER_SYNC asks a primary to
+    # replicate its owned tenants to their ring successors; TENANT_DROP
+    # removes one tenant's storage (rebalance cleanup — the new primary
+    # must have deep-verified before anyone sends this).
+    CLUSTER_MAP = 28
+    CLUSTER_MAP_OK = 29
+    CLUSTER_SYNC = 30
+    CLUSTER_SYNC_OK = 31
+    TENANT_DROP = 32
+    TENANT_DROP_OK = 33
 
 
 # ----------------------------------------------------------------------

@@ -284,6 +284,10 @@ class RemoteRepository:
             credit stalls, retries); defaults to the no-op logger.
         metrics: registry for client-side latency histograms (defaults to
             the process registry).
+        pool: an externally owned :class:`ConnectionPool` to use instead
+            of creating one — the cluster router shares one pool per
+            daemon address across every tenant it routes there; a shared
+            pool is *not* closed by :meth:`close`.
     """
 
     def __init__(
@@ -296,19 +300,22 @@ class RemoteRepository:
         pool_size: int = 2,
         event_log: Optional[EventLogger] = None,
         metrics: Optional[MetricsRegistry] = None,
+        pool: Optional[ConnectionPool] = None,
     ) -> None:
         self.repo = repo
         self.retries = max(1, retries)
         self.backoff = backoff
         self.events = event_log if event_log is not None else EventLogger()
         self.metrics = metrics if metrics is not None else get_registry()
-        self.pool = ConnectionPool(
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else ConnectionPool(
             parse_address(address), timeout, pool_size,
             metrics=self.metrics, events=self.events,
         )
 
     def close(self) -> None:
-        self.pool.close()
+        if self._owns_pool:
+            self.pool.close()
 
     def __enter__(self) -> "RemoteRepository":
         return self
@@ -613,6 +620,46 @@ class RemoteRepository:
                 FrameType.VERIFY_OK,
                 "verify",
             )
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster control plane
+    # ------------------------------------------------------------------
+    def cluster_map(self) -> Dict:
+        """The daemon's cluster view: ``{"map": doc|None, "node": name|None}``.
+
+        Pure read, retried.  A daemon running outside any cluster answers
+        with ``map: null`` — callers treat that as "not clustered", not as
+        an error.
+        """
+        return self._with_retries(
+            lambda: self._simple_request(
+                FrameType.CLUSTER_MAP, {"repo": None}, FrameType.CLUSTER_MAP_OK,
+                "cluster_map",
+            )
+        )
+
+    def cluster_sync(self, repo: Optional[str] = None) -> Dict:
+        """Ask the daemon to replicate its primary-owned tenants to their
+        ring successors (one tenant when ``repo`` is given, else all).
+
+        Retried: each underlying sync is an idempotent O(delta) replication
+        — re-running a completed sync ships nothing.
+        """
+        return self._with_retries(
+            lambda: self._simple_request(
+                FrameType.CLUSTER_SYNC, {"repo": repo}, FrameType.CLUSTER_SYNC_OK,
+                "cluster_sync",
+            )
+        )
+
+    def drop_tenant(self) -> Dict:
+        """Remove this tenant's storage from the daemon (mutating — never
+        retried).  Rebalance cleanup: send only after the tenant's new
+        primary deep-verified its copy."""
+        return self._simple_request(
+            FrameType.TENANT_DROP, {"repo": self.repo}, FrameType.TENANT_DROP_OK,
+            "tenant_drop",
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,405 @@
+"""The client-side cluster router: tenant → daemon, with replica failover.
+
+:class:`ClusterClient` is what ``--cluster HOST:PORT,...`` turns the CLI
+into.  It bootstraps a :class:`~repro.cluster.map.ClusterMap` from any
+reachable seed daemon (adopting the highest epoch it sees — epoch-based
+invalidation, never a downgrade), keeps **one shared connection pool per
+daemon address** regardless of how many tenants route there, and hands out
+:class:`RoutedRepository` objects that look exactly like a
+:class:`~repro.client.remote.RemoteRepository` but resolve their daemon
+through the ring:
+
+* **mutating operations** (``backup_*``, ``delete_oldest``) go to the
+  tenant's ring *primary* and never fail over — a write landing on a
+  replica would fork the tenant's history;
+* **idempotent reads** (``versions``, ``stats``, ``verify``, opening a
+  restore) walk the tenant's placement list — primary first, then ring
+  successors — on *transport* failure only.  A typed domain error from a
+  live daemon (say :class:`~repro.errors.VersionNotFoundError`) is an
+  authoritative answer, not a reason to ask a replica;
+* a **restore that dies mid-stream** is resumed on the next placement
+  node: the router counts the bytes it already yielded, reopens the same
+  version on the replica (replicas are byte-level mirrors, so the stream
+  is identical), discards exactly that many bytes, and continues — the
+  caller sees one uninterrupted, byte-identical stream.  This is the
+  client half of the paper's restore-path argument: replica containers
+  preserve the same physical locality, so a failover restore costs one
+  reopen, not a re-chunk.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..client.remote import ConnectionPool, RemoteRepository, parse_address
+from ..errors import (
+    ClusterError,
+    RemoteError,
+    ReproError,
+    ServerDrainingError,
+    TimeoutExceededError,
+)
+from ..observability import EventLogger, MetricsRegistry, get_registry
+from ..repository import FilePlan
+from .map import ClusterMap, NodeSpec, newer_map
+
+
+def failover_worthy(exc: BaseException) -> bool:
+    """Should this failure move the request to the next placement node?
+
+    Only *transport* trouble qualifies: the socket died, timed out, the
+    daemon is draining, or the per-node retry budget was exhausted (the
+    client wraps that exhaustion in a bare :class:`RemoteError`).  Typed
+    subclasses — protocol violations and the whole domain-error taxonomy —
+    are answers from a live server; asking a replica cannot change them.
+    """
+    if isinstance(exc, (TimeoutExceededError, ServerDrainingError, OSError)):
+        return True
+    return type(exc) is RemoteError
+
+
+class ClusterClient:
+    """Router + map cache over one sharded cluster.
+
+    Args:
+        seeds: daemon addresses (``"host:port"``) to bootstrap the map
+            from; any one reachable seed is enough.
+        cluster_map: optionally start from a known map (e.g. the spec
+            file) instead of — not in place of — seed discovery; the
+            freshest epoch still wins.
+        timeout / retries / backoff / pool_size: forwarded to every
+            underlying :class:`RemoteRepository`.
+    """
+
+    def __init__(
+        self,
+        seeds: Iterable[str],
+        cluster_map: Optional[ClusterMap] = None,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+        pool_size: int = 2,
+        event_log: Optional[EventLogger] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.seeds = [s.strip() for s in seeds if s and s.strip()]
+        if not self.seeds and cluster_map is None:
+            raise ClusterError("a cluster client needs seed addresses or a map")
+        self.map = cluster_map
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.pool_size = pool_size
+        self.events = event_log if event_log is not None else EventLogger()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._pools: Dict[str, ConnectionPool] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def pool_for(self, address: str) -> ConnectionPool:
+        """The shared per-address pool (created on first use)."""
+        pool = self._pools.get(address)
+        if pool is None:
+            pool = ConnectionPool(
+                parse_address(address), self.timeout, self.pool_size,
+                metrics=self.metrics, events=self.events,
+            )
+            self._pools[address] = pool
+        return pool
+
+    def remote(self, address: str, tenant: str) -> RemoteRepository:
+        """A :class:`RemoteRepository` for ``tenant`` on one daemon,
+        borrowing the shared pool for that address."""
+        return RemoteRepository(
+            address, tenant, timeout=self.timeout, retries=self.retries,
+            backoff=self.backoff, event_log=self.events, metrics=self.metrics,
+            pool=self.pool_for(address),
+        )
+
+    def close(self) -> None:
+        pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
+            pool.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Map discovery
+    # ------------------------------------------------------------------
+    def refresh(self) -> ClusterMap:
+        """Adopt the freshest cluster map any seed or known node serves.
+
+        Every address is asked; the highest epoch wins (a router must
+        never *downgrade* — a stale daemon rejoining after a rebalance
+        still serves the old epoch).  Raises :class:`ClusterError` only
+        when no address yields a map at all.
+        """
+        addresses = list(dict.fromkeys(
+            self.seeds + ([n.address for n in self.map.nodes] if self.map else [])
+        ))
+        freshest = self.map
+        errors: List[str] = []
+        for address in addresses:
+            try:
+                reply = self.remote(address, "-").cluster_map()
+            except (ReproError, OSError) as exc:
+                errors.append(f"{address}: {type(exc).__name__}: {exc}")
+                continue
+            doc = reply.get("map")
+            if doc is None:
+                errors.append(f"{address}: daemon is not part of a cluster")
+                continue
+            freshest = newer_map(freshest, ClusterMap.from_doc(doc))
+        if freshest is None:
+            raise ClusterError(
+                "no seed served a cluster map: " + "; ".join(errors)
+            )
+        if self.map is None or freshest.epoch != self.map.epoch:
+            self.events.log(
+                "cluster_map_adopted",
+                epoch=freshest.epoch,
+                nodes=[n.name for n in freshest.nodes],
+            )
+        self.map = freshest
+        return freshest
+
+    def require_map(self) -> ClusterMap:
+        if self.map is None:
+            self.refresh()
+        assert self.map is not None
+        return self.map
+
+    def placement(self, tenant: str) -> List[NodeSpec]:
+        """The tenant's copy holders under the current map, primary first."""
+        return self.require_map().placement(tenant)
+
+    def repo(self, tenant: str) -> "RoutedRepository":
+        """The routed façade for one tenant."""
+        return RoutedRepository(self, tenant)
+
+    # ------------------------------------------------------------------
+    # Operator views
+    # ------------------------------------------------------------------
+    def status(self, with_metrics: bool = False) -> Dict:
+        """Per-node liveness + stats for ``hidestore cluster status``."""
+        cmap = self.require_map()
+        nodes = []
+        for node in cmap.nodes:
+            row: Dict = {"name": node.name, "address": node.address}
+            try:
+                view = self.remote(node.address, "-").cluster_map()
+                stats = self.remote(node.address, "-").server_stats()
+            except (ReproError, OSError) as exc:
+                row.update(alive=False, error=f"{type(exc).__name__}: {exc}")
+                nodes.append(row)
+                continue
+            doc = view.get("map") or {}
+            server = stats.get("server", {})
+            row.update(
+                alive=True,
+                draining=bool(view.get("draining")),
+                epoch=doc.get("epoch"),
+                node=view.get("node"),
+                tenants=sorted(stats.get("repos", {})),
+                uptime_seconds=round(float(server.get("uptime_seconds", 0.0)), 1),
+                active_connections=server.get("active_connections"),
+            )
+            if with_metrics:
+                snapshot = stats.get("metrics", {})
+                counters = snapshot.get("counters", snapshot) or {}
+                row["cluster_metrics"] = {
+                    key: value for key, value in sorted(counters.items())
+                    if key.startswith("cluster.")
+                }
+            nodes.append(row)
+        return {"epoch": cmap.epoch, "replicas": cmap.replicas, "nodes": nodes}
+
+    def sync_all(self) -> List[Dict]:
+        """Ask every live node to replicate its owned tenants (``cluster sync``)."""
+        reports = []
+        for node in self.require_map().nodes:
+            try:
+                reports.append(self.remote(node.address, "-").cluster_sync())
+            except (ReproError, OSError) as exc:
+                reports.append({
+                    "node": node.name,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+        return reports
+
+
+class RoutedRepository:
+    """One tenant, addressed by placement instead of by daemon.
+
+    Mirrors the :class:`RemoteRepository` surface the CLI drives, so
+    ``--cluster`` slots in wherever ``--remote`` did.
+    """
+
+    def __init__(self, client: ClusterClient, tenant: str) -> None:
+        self.client = client
+        self.repo = tenant
+
+    # ------------------------------------------------------------------
+    def _primary_remote(self) -> RemoteRepository:
+        primary = self.client.placement(self.repo)[0]
+        self.client.metrics.inc("cluster.client_requests_routed")
+        return self.client.remote(primary.address, self.repo)
+
+    def _over_placement(self, op_name: str, operation):
+        """Run an idempotent operation against the placement list.
+
+        ``operation`` receives a :class:`RemoteRepository`; transport
+        failures walk to the next copy holder, anything typed propagates.
+        """
+        nodes = self.client.placement(self.repo)
+        self.client.metrics.inc("cluster.client_requests_routed")
+        errors: List[str] = []
+        for index, node in enumerate(nodes):
+            try:
+                return operation(self.client.remote(node.address, self.repo))
+            except BaseException as exc:
+                if not failover_worthy(exc):
+                    raise
+                errors.append(f"{node.name} ({node.address}): {type(exc).__name__}: {exc}")
+                if index + 1 < len(nodes):
+                    self.client.metrics.inc("cluster.client_failovers")
+                    self.client.events.log(
+                        "cluster_failover",
+                        repo=self.repo,
+                        op=op_name,
+                        failed_node=node.name,
+                        next_node=nodes[index + 1].name,
+                        error=type(exc).__name__,
+                    )
+        raise ClusterError(
+            f"all {len(nodes)} copy holders of {self.repo!r} failed for "
+            f"{op_name}: " + "; ".join(errors)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutating operations: primary only, never failed over
+    # ------------------------------------------------------------------
+    def backup_tree(self, entries: List[Tuple[str, str]], tag: str = "") -> Dict:
+        return self._primary_remote().backup_tree(entries, tag)
+
+    def backup_blocks(self, blocks: Iterable[bytes], plan: FilePlan, tag: str = "") -> Dict:
+        return self._primary_remote().backup_blocks(blocks, plan, tag)
+
+    def delete_oldest(self) -> Dict:
+        return self._primary_remote().delete_oldest()
+
+    # ------------------------------------------------------------------
+    # Idempotent operations: placement walk on transport failure
+    # ------------------------------------------------------------------
+    def versions(self) -> List[Dict]:
+        return self._over_placement("versions", lambda r: r.versions())
+
+    def stats(self) -> Dict:
+        return self._over_placement("stats", lambda r: r.stats())
+
+    def verify(self, deep: bool = False) -> Dict:
+        return self._over_placement("verify", lambda r: r.verify(deep=deep))
+
+    # ------------------------------------------------------------------
+    # Restore: resumable replica failover
+    # ------------------------------------------------------------------
+    def restore(
+        self,
+        version_id: int,
+        *,
+        workers: Optional[int] = None,
+        readahead: Optional[int] = None,
+        verify: bool = False,
+        file: Optional[str] = None,
+    ) -> Tuple[FilePlan, Iterator[bytes]]:
+        """Open the restore on the first live copy holder; if the stream
+        dies mid-flight, resume byte-exact on the next one."""
+        nodes = self.client.placement(self.repo)
+        self.client.metrics.inc("cluster.client_requests_routed")
+        kwargs = dict(workers=workers, readahead=readahead, verify=verify, file=file)
+
+        def open_on(start: int, skip: int) -> Tuple[int, FilePlan, Iterator[bytes]]:
+            """Open on nodes[start:], discarding ``skip`` already-yielded bytes."""
+            errors: List[str] = []
+            for index in range(start, len(nodes)):
+                node = nodes[index]
+                try:
+                    plan, data = self.client.remote(node.address, self.repo).restore(
+                        version_id, **kwargs
+                    )
+                    if skip:
+                        data = _skip_bytes(data, skip)
+                    return index, plan, data
+                except BaseException as exc:
+                    if not failover_worthy(exc):
+                        raise
+                    errors.append(
+                        f"{node.name} ({node.address}): {type(exc).__name__}: {exc}"
+                    )
+                    if index + 1 < len(nodes):
+                        self._note_failover("restore_open", node, nodes[index + 1], exc)
+            raise ClusterError(
+                f"all copy holders of {self.repo!r} failed to serve version "
+                f"{version_id}: " + "; ".join(errors)
+            )
+
+        index, plan, data = open_on(0, 0)
+
+        def stream() -> Iterator[bytes]:
+            at, current = index, data
+            yielded = 0
+            started = time.perf_counter()
+            while True:
+                try:
+                    for block in current:
+                        yielded += len(block)
+                        yield block
+                    return
+                except BaseException as exc:
+                    if not failover_worthy(exc) or at + 1 >= len(nodes):
+                        raise
+                    self._note_failover(
+                        "restore_stream", nodes[at], nodes[at + 1], exc, bytes_done=yielded
+                    )
+                    at, _plan, current = open_on(at + 1, yielded)
+                    self.client.metrics.observe(
+                        "cluster.failover_resume_seconds",
+                        time.perf_counter() - started,
+                    )
+
+        return plan, stream()
+
+    def _note_failover(
+        self, op: str, failed: NodeSpec, next_node: NodeSpec, exc: BaseException,
+        **extra,
+    ) -> None:
+        self.client.metrics.inc("cluster.client_failovers")
+        self.client.events.log(
+            "cluster_failover",
+            repo=self.repo,
+            op=op,
+            failed_node=failed.name,
+            next_node=next_node.name,
+            error=type(exc).__name__,
+            **extra,
+        )
+
+
+def _skip_bytes(blocks: Iterator[bytes], skip: int) -> Iterator[bytes]:
+    """Drop exactly ``skip`` leading bytes from a block stream (resume)."""
+    remaining = skip
+    for block in blocks:
+        if remaining >= len(block):
+            remaining -= len(block)
+            continue
+        if remaining:
+            yield block[remaining:]
+            remaining = 0
+        else:
+            yield block

@@ -1,0 +1,196 @@
+"""The cluster map: a versioned node list plus ring parameters.
+
+One small JSON document describes the whole cluster::
+
+    {
+      "epoch": 3,
+      "replicas": 2,
+      "vnodes": 64,
+      "nodes": [
+        {"name": "n1", "address": "127.0.0.1:7101", "root": "/srv/n1"},
+        {"name": "n2", "address": "127.0.0.1:7102", "root": "/srv/n2"}
+      ]
+    }
+
+The same document is the operator's spec file (``hidestore cluster serve
+SPEC``), what every daemon serves over the ``CLUSTER_MAP`` wire frame, and
+what the client router caches.  **Epoch** is the invalidation handle:
+every membership change (join, leave, rebalance) ships a new map with a
+higher epoch, and any cached copy with a lower epoch is stale — the router
+adopts the highest epoch it sees and never downgrades.  Placement itself
+needs no epoch: it is a pure function of (node names, vnodes, replicas),
+which is why failover never waits on a metadata service (the
+disaster-recovery metadata argument of arXiv:2602.22237 — keep placement
+state small enough that recovery never bottlenecks on re-hashing).
+
+``root`` is optional and only meaningful to the supervisor spawning local
+daemons; routing uses only ``name`` and ``address``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ClusterError
+from .ring import DEFAULT_VNODES, HashRing
+
+#: Default copies per tenant (primary + 1 replica).
+DEFAULT_REPLICAS = 2
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One daemon in the cluster."""
+
+    name: str
+    address: str
+    root: str = ""
+
+    def as_doc(self) -> Dict[str, str]:
+        doc = {"name": self.name, "address": self.address}
+        if self.root:
+            doc["root"] = self.root
+        return doc
+
+
+class ClusterMap:
+    """Versioned membership + placement parameters for one cluster."""
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeSpec],
+        epoch: int = 1,
+        replicas: int = DEFAULT_REPLICAS,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        self.nodes: List[NodeSpec] = list(nodes)
+        if not self.nodes:
+            raise ClusterError("a cluster map needs at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ClusterError(f"duplicate node names in cluster map: {sorted(names)}")
+        # ":0" addresses are placeholders awaiting port materialisation
+        # (supervisor.assign_ports), so only real addresses must be unique.
+        addresses = [n.address for n in self.nodes if not n.address.endswith(":0")]
+        if len(set(addresses)) != len(addresses):
+            raise ClusterError("duplicate node addresses in cluster map")
+        if epoch < 1:
+            raise ClusterError(f"cluster map epoch must be >= 1, got {epoch}")
+        if replicas < 1:
+            raise ClusterError(f"replicas must be >= 1, got {replicas}")
+        self.epoch = int(epoch)
+        self.replicas = int(replicas)
+        self.vnodes = int(vnodes)
+        self._ring = HashRing(names, vnodes=self.vnodes)
+        self._by_name = {node.name: node for node in self.nodes}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def node(self, name: str) -> NodeSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ClusterError(f"no node {name!r} in cluster map epoch {self.epoch}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._by_name
+
+    def placement(self, tenant: str) -> List[NodeSpec]:
+        """The tenant's copy holders: primary first, then ring successors."""
+        return [self._by_name[n] for n in self._ring.preference(tenant, self.replicas)]
+
+    def primary(self, tenant: str) -> NodeSpec:
+        return self.placement(tenant)[0]
+
+    def successors(self, tenant: str) -> List[NodeSpec]:
+        """The replica holders (placement minus the primary)."""
+        return self.placement(tenant)[1:]
+
+    def is_primary(self, node_name: str, tenant: str) -> bool:
+        return self.primary(tenant).name == node_name
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def as_doc(self) -> Dict:
+        return {
+            "epoch": self.epoch,
+            "replicas": self.replicas,
+            "vnodes": self.vnodes,
+            "nodes": [node.as_doc() for node in self.nodes],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: object) -> "ClusterMap":
+        if not isinstance(doc, dict):
+            raise ClusterError(f"cluster map must be a JSON object, got {type(doc).__name__}")
+        raw_nodes = doc.get("nodes")
+        if not isinstance(raw_nodes, list) or not raw_nodes:
+            raise ClusterError("cluster map needs a non-empty 'nodes' list")
+        nodes = []
+        for entry in raw_nodes:
+            if not isinstance(entry, dict) or not entry.get("name") or not entry.get("address"):
+                raise ClusterError(f"malformed cluster node entry: {entry!r}")
+            nodes.append(
+                NodeSpec(
+                    name=str(entry["name"]),
+                    address=str(entry["address"]),
+                    root=str(entry.get("root", "") or ""),
+                )
+            )
+        return cls(
+            nodes,
+            epoch=int(doc.get("epoch", 1)),
+            replicas=int(doc.get("replicas", DEFAULT_REPLICAS)),
+            vnodes=int(doc.get("vnodes", DEFAULT_VNODES)),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterMap":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            raise ClusterError(f"no cluster spec at {path!r}") from None
+        except ValueError as exc:
+            raise ClusterError(f"cluster spec {path!r} is not valid JSON: {exc}") from exc
+        return cls.from_doc(doc)
+
+    def save(self, path: str) -> None:
+        """Write the map atomically (``*.tmp`` + rename)."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.as_doc(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def with_nodes(self, nodes: Iterable[NodeSpec]) -> "ClusterMap":
+        """A successor map (epoch + 1) with a changed node list."""
+        return ClusterMap(
+            nodes, epoch=self.epoch + 1, replicas=self.replicas, vnodes=self.vnodes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"ClusterMap(epoch={self.epoch}, nodes={[n.name for n in self.nodes]}, "
+            f"replicas={self.replicas})"
+        )
+
+
+def newer_map(current: Optional[ClusterMap], candidate: Optional[ClusterMap]) -> Optional[ClusterMap]:
+    """Epoch-based invalidation: keep whichever map is newer (never downgrade)."""
+    if candidate is None:
+        return current
+    if current is None or candidate.epoch > current.epoch:
+        return candidate
+    return current

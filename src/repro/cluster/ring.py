@@ -1,0 +1,116 @@
+"""Consistent-hash ring with virtual nodes: deterministic tenant placement.
+
+The ring maps tenant names onto daemon nodes so that:
+
+* placement is **deterministic** — any process that knows the node list
+  computes the same owner for a tenant, with no coordination service;
+* placement is **stable under join/leave** — adding a node moves only the
+  ~1/N fraction of tenants that now hash to the new node's points, and
+  removing it restores exactly the prior placement of every other tenant
+  (the remaining nodes' points never move);
+* **replica placement** follows the ring: a tenant's copies live on the
+  first ``R`` *distinct* nodes clockwise from its hash point, so losing
+  the primary leaves the next successor already holding the data.
+
+Virtual nodes (``vnodes`` hash points per node) smooth the ownership
+distribution: with a single point per node the arc lengths — and thus the
+tenant load — vary wildly; with 64+ points per node the per-node share
+concentrates around 1/N.
+
+Hashing is SHA-1 truncated to 64 bits — stable across processes, Python
+versions and machines (never ``hash()``, which is salted per process).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ClusterError
+
+#: Default virtual-node count per physical node.
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for a label."""
+    return int.from_bytes(hashlib.sha1(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    Args:
+        nodes: node names (order-insensitive — placement depends only on
+            the *set* of names).
+        vnodes: hash points per node (>= 1).
+    """
+
+    def __init__(self, nodes: Iterable[str], vnodes: int = DEFAULT_VNODES) -> None:
+        names = sorted(set(nodes))
+        if not names:
+            raise ClusterError("a hash ring needs at least one node")
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.nodes: Tuple[str, ...] = tuple(names)
+        points: List[Tuple[int, str]] = []
+        for name in names:
+            for i in range(vnodes):
+                points.append((_point(f"{name}#{i}"), name))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    # ------------------------------------------------------------------
+    def primary(self, key: str) -> str:
+        """The node owning ``key`` (the first point clockwise of its hash)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, count: int) -> List[str]:
+        """The first ``count`` *distinct* nodes clockwise from ``key``.
+
+        The preference list is the tenant's placement: index 0 is the
+        primary, the rest are replica holders in failover order.  ``count``
+        is clamped to the number of nodes on the ring.
+        """
+        if count < 1:
+            raise ClusterError(f"preference count must be >= 1, got {count}")
+        want = min(count, len(self.nodes))
+        start = bisect.bisect_right(self._hashes, _point(key))
+        chosen: List[str] = []
+        seen = set()
+        for i in range(len(self._owners)):
+            owner = self._owners[(start + i) % len(self._owners)]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            chosen.append(owner)
+            if len(chosen) == want:
+                break
+        return chosen
+
+    # ------------------------------------------------------------------
+    def shares(self, samples: int = 4096) -> Dict[str, float]:
+        """Approximate ownership share per node (diagnostics only)."""
+        counts: Dict[str, int] = {name: 0 for name in self.nodes}
+        for i in range(samples):
+            counts[self.primary(f"sample-{i}")] += 1
+        return {name: counts[name] / samples for name in self.nodes}
+
+
+def moved_keys(
+    before: HashRing, after: HashRing, keys: Iterable[str], replicas: int = 1
+) -> List[str]:
+    """The keys whose preference list changed between two rings.
+
+    This is the rebalancer's work list: consistent hashing guarantees it
+    is O(moved tenants), roughly ``len(keys) * delta_nodes / total_nodes``
+    for a join or leave.
+    """
+    return [
+        key
+        for key in keys
+        if before.preference(key, replicas) != after.preference(key, replicas)
+    ]

@@ -73,6 +73,14 @@ class ReplicationError(ReproError):
     """
 
 
+class ClusterError(ReproError):
+    """A sharded-cluster operation was invalid or could not complete.
+
+    Covers malformed cluster maps, tenants whose every placement node is
+    unreachable, and rebalance moves that failed verification.
+    """
+
+
 class RemoteError(ReproError):
     """A remote backup-service operation failed.
 

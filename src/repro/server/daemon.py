@@ -41,7 +41,9 @@ from ..client.protocol import (
     encode_error,
     encode_json,
 )
+from ..cluster.map import ClusterMap
 from ..errors import (
+    ClusterError,
     ProtocolError,
     ReplicationError,
     ReproError,
@@ -181,6 +183,9 @@ class _Session:
             FrameType.REPLICATE_COMMIT: ("replicate_commit", self._handle_replicate_commit),
             FrameType.REPLICATE_FETCH: ("replicate_fetch", self._handle_replicate_fetch),
             FrameType.VERIFY: ("verify", self._handle_verify),
+            FrameType.CLUSTER_MAP: ("cluster_map", self._handle_cluster_map),
+            FrameType.CLUSTER_SYNC: ("cluster_sync", self._handle_cluster_sync),
+            FrameType.TENANT_DROP: ("tenant_drop", self._handle_tenant_drop),
         }
         entry = handlers.get(ftype)
         if entry is None:
@@ -188,6 +193,10 @@ class _Session:
         kind, handler = entry
         obj = decode_json(payload)
         self.seq += 1
+        # A clustered daemon counts the data-plane traffic the router sends
+        # it (CLUSTER_MAP fetches are control plane, not routed requests).
+        if self.daemon.cluster is not None and ftype != FrameType.CLUSTER_MAP:
+            self.daemon.metrics.inc("cluster.requests_routed")
         # Prefer the client's request trace (carried in the payload) so one
         # ID joins both sides' logs; fall back to our own session-derived ID.
         trace = sanitize_trace(obj.get("trace")) or f"{self.trace}.{self.seq}"
@@ -384,6 +393,20 @@ class _Session:
         version = int(obj.get("version", 0))
         options = self._restore_options(obj)
         metrics = self.daemon.metrics
+        # In a cluster, the router sends restores to the tenant's primary;
+        # a restore served by a replica holder *is* a failover (the primary
+        # is down or draining) — count it where operators can see it.
+        cluster, node = self.daemon.cluster, self.daemon.node_name
+        if cluster is not None and node and cluster.has_node(node):
+            if not cluster.is_primary(node, handle.name):
+                metrics.inc("cluster.failovers")
+                self.daemon.events.log(
+                    "cluster_failover_serve",
+                    repo=handle.name,
+                    node=node,
+                    primary=cluster.primary(handle.name).name,
+                    version=version,
+                )
         async with handle.lock.read_locked():
             handle.active_ops += 1
             try:
@@ -574,6 +597,16 @@ class _Session:
                 handle.repository.invalidate()
             finally:
                 handle.active_ops -= 1
+        # A replica sync commits on ring *successors*; a commit landing on
+        # the tenant's *primary* is a rebalance move arriving at its new
+        # home (the mover ships old-placement → new-primary).
+        cluster, node = self.daemon.cluster, self.daemon.node_name
+        if cluster is not None and node and cluster.has_node(node):
+            if cluster.is_primary(node, handle.name):
+                self.daemon.metrics.inc("cluster.tenants_moved")
+                self.daemon.events.log(
+                    "cluster_tenant_moved", repo=handle.name, node=node
+                )
         self.daemon.note_session("replicate_commit")
         self.writer.write(
             encode_json(FrameType.REPLICATE_COMMIT_OK, {"applied": applied})
@@ -601,6 +634,46 @@ class _Session:
             doc = await asyncio.to_thread(handle.repository.verify, deep)
         self.daemon.note_session("verify")
         self.writer.write(encode_json(FrameType.VERIFY_OK, doc))
+        await self.writer.drain()
+
+    # ------------------------------------------------------------------
+    # Cluster control plane
+    # ------------------------------------------------------------------
+    async def _handle_cluster_map(self, obj: dict) -> None:
+        cluster = self.daemon.cluster
+        self.daemon.note_session("cluster_map")
+        self.writer.write(
+            encode_json(
+                FrameType.CLUSTER_MAP_OK,
+                {
+                    "map": cluster.as_doc() if cluster is not None else None,
+                    "node": self.daemon.node_name,
+                    "draining": self.daemon.draining,
+                },
+            )
+        )
+        await self.writer.drain()
+
+    async def _handle_cluster_sync(self, obj: dict) -> None:
+        if self.daemon.draining:
+            raise ServerDrainingError("server is draining; sync from the next epoch")
+        repo = obj.get("repo")
+        doc = await self.daemon.sync_owned(str(repo) if repo else None)
+        self.daemon.note_session("cluster_sync")
+        self.writer.write(encode_json(FrameType.CLUSTER_SYNC_OK, doc))
+        await self.writer.drain()
+
+    async def _handle_tenant_drop(self, obj: dict) -> None:
+        if self.daemon.draining:
+            raise ServerDrainingError("server is draining; refusing tenant drop")
+        handle = self.daemon.registry.get(obj.get("repo"))
+        async with handle.lock.write_locked():
+            removed = await asyncio.to_thread(self.daemon.registry.drop, handle.name)
+        self.daemon.note_session("tenant_drop")
+        self.daemon.events.log("tenant_drop", repo=handle.name, removed=removed)
+        self.writer.write(
+            encode_json(FrameType.TENANT_DROP_OK, {"repo": handle.name, "removed": removed})
+        )
         await self.writer.drain()
 
     async def _handle_delete_oldest(self, obj: dict) -> None:
@@ -637,6 +710,15 @@ class BackupDaemon:
         event_log: structured event sink; defaults to the no-op logger.
         metrics_interval: seconds between periodic ``metrics_report``
             events in the event log (0 disables the reporter).
+        cluster_map: the cluster this daemon belongs to — a
+            :class:`~repro.cluster.map.ClusterMap` or its document form.
+            A clustered daemon serves the map over ``CLUSTER_MAP``, counts
+            routed traffic and failover-served restores, and can replicate
+            its primary-owned tenants to their ring successors.
+        node_name: this daemon's node name within ``cluster_map``.
+        replicate_interval: seconds between automatic replica syncs of
+            primary-owned tenants to their ring successors (0 disables;
+            requires ``cluster_map`` + ``node_name``).
     """
 
     def __init__(
@@ -652,11 +734,30 @@ class BackupDaemon:
         metrics: Optional[MetricsRegistry] = None,
         event_log: Optional[EventLogger] = None,
         metrics_interval: float = 0.0,
+        cluster_map: Optional[object] = None,
+        node_name: Optional[str] = None,
+        replicate_interval: float = 0.0,
     ) -> None:
         if window < 1:
             raise ReproError("credit window must be at least 1 frame")
         if restore_workers < 1:
             raise ReproError("restore_workers must be at least 1")
+        if cluster_map is None:
+            self.cluster: Optional[ClusterMap] = None
+        elif isinstance(cluster_map, ClusterMap):
+            self.cluster = cluster_map
+        else:
+            self.cluster = ClusterMap.from_doc(cluster_map)
+        self.node_name = node_name
+        if self.cluster is not None and node_name and not self.cluster.has_node(node_name):
+            raise ClusterError(
+                f"node {node_name!r} is not in cluster map epoch {self.cluster.epoch}"
+            )
+        if replicate_interval > 0 and (self.cluster is None or not node_name):
+            raise ClusterError(
+                "replicate_interval needs a cluster map and a node name"
+            )
+        self.replicate_interval = replicate_interval
         self.metrics = metrics if metrics is not None else get_registry()
         # Hosted repositories record their stage timings (chunking, dedup,
         # container I/O) into the daemon's registry, so STATS metrics tell
@@ -673,6 +774,7 @@ class BackupDaemon:
         self._server: Optional[asyncio.AbstractServer] = None
         self._sessions: Set[asyncio.Task] = set()
         self._reporter: Optional[asyncio.Task] = None
+        self._syncer: Optional[asyncio.Task] = None
         self._started = time.monotonic()
         self._session_counts: Dict[str, int] = {}
 
@@ -685,6 +787,8 @@ class BackupDaemon:
         self.events.log("daemon_start", address=self.address, window=self.window)
         if self.metrics_interval > 0:
             self._reporter = asyncio.ensure_future(self._report_metrics())
+        if self.replicate_interval > 0:
+            self._syncer = asyncio.ensure_future(self._replica_sync_loop())
 
     async def _report_metrics(self) -> None:
         while True:
@@ -764,6 +868,73 @@ class BackupDaemon:
         return report
 
     # ------------------------------------------------------------------
+    async def sync_owned(self, repo: Optional[str] = None) -> Dict:
+        """Replicate this node's primary-owned tenants to their successors.
+
+        The cluster's durability loop: each tenant whose ring primary is
+        this node is shipped (O(delta), via :class:`ReplicationSession`) to
+        every ring successor.  Tenants this node merely replicates are
+        skipped — only primaries push, so replica state never forks.
+        Per-successor failures are collected rather than fatal: one dead
+        replica must not stop the others from staying fresh.
+        """
+        if self.cluster is None or not self.node_name:
+            raise ClusterError("this daemon is not part of a cluster")
+        from ..replication.targets import RemoteMirror
+
+        if repo is not None:
+            names = [self.registry.validate_name(repo)]
+        else:
+            names = await asyncio.to_thread(self.registry.repo_names)
+        doc: Dict = {
+            "node": self.node_name,
+            "epoch": self.cluster.epoch,
+            "synced": {},
+            "skipped": [],
+            "errors": {},
+        }
+        for name in names:
+            if not self.cluster.is_primary(self.node_name, name):
+                doc["skipped"].append(name)
+                continue
+            per_successor: Dict[str, Dict] = {}
+            for succ in self.cluster.successors(name):
+                mirror = RemoteMirror(succ.address, name)
+                try:
+                    report = await self.replicate_tenant(name, mirror)
+                    per_successor[succ.name] = report.as_dict()
+                    self.metrics.inc("cluster.replica_syncs")
+                except (ReproError, OSError) as exc:
+                    doc["errors"][f"{name}->{succ.name}"] = f"{type(exc).__name__}: {exc}"
+                    self.metrics.inc("cluster.replica_sync_failures")
+                    self.events.log(
+                        "cluster_replica_sync_failed",
+                        repo=name,
+                        successor=succ.name,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                finally:
+                    await asyncio.to_thread(mirror.close)
+            doc["synced"][name] = per_successor
+        return doc
+
+    async def _replica_sync_loop(self) -> None:
+        """Background ``sync_owned`` pacemaker (``--replicate-interval``)."""
+        while True:
+            await asyncio.sleep(self.replicate_interval)
+            if self.draining:
+                return
+            try:
+                await self.sync_owned()
+            except (ReproError, OSError) as exc:  # pragma: no cover - timing
+                self.events.log(
+                    "cluster_replica_sync_failed",
+                    repo="*",
+                    successor="*",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    # ------------------------------------------------------------------
     async def shutdown(self, drain_timeout: Optional[float] = None) -> None:
         """Graceful drain: stop accepting, let sessions finish, then cancel.
 
@@ -774,6 +945,13 @@ class BackupDaemon:
         """
         timeout = self.drain_timeout if drain_timeout is None else drain_timeout
         self.draining = True
+        if self._syncer is not None:
+            self._syncer.cancel()
+            try:
+                await self._syncer
+            except asyncio.CancelledError:
+                pass
+            self._syncer = None
         if self._reporter is not None:
             self._reporter.cancel()
             try:

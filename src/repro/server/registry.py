@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import os
 import re
+import shutil
 import threading
 from contextlib import asynccontextmanager
 from typing import Dict, List
@@ -192,6 +193,58 @@ class RepositoryRegistry:
             )
             self._handles[name] = handle
             return handle
+
+    def drop(self, name: str) -> int:
+        """Remove one tenant's storage entirely; returns objects removed.
+
+        Rebalance cleanup: the caller must hold the tenant's write lock
+        (no in-flight operation survives the removal) and must only call
+        this after the tenant's new home deep-verified its copy.  Directory
+        tenants are removed recursively; backend-URL tenants have every
+        replicable object deleted plus their local skeleton (sqlite ``.db``
+        file / per-tenant directory).
+        """
+        name = self.validate_name(name)
+        with self._lock:
+            self._handles.pop(name, None)
+            if self.location is None:
+                repo_root = os.path.join(self.root, name)
+                if not os.path.isdir(repo_root):
+                    return 0
+                shutil.rmtree(repo_root)
+                return 1
+            from ..storage.repo import RepoStorage
+
+            spec = self.location.child(name)
+            removed = 0
+            storage = RepoStorage(spec)
+            try:
+                if storage.exists():
+                    state = storage.state()
+                    for kind, section in (
+                        ("container", "containers"),
+                        ("recipe", "recipes"),
+                        ("manifest", "manifests"),
+                    ):
+                        for short in state[section]:
+                            storage.delete_object(kind, short)
+                            removed += 1
+                    if state["checkpoint"]:
+                        storage.delete_object("checkpoint", "checkpoint.json")
+                        removed += 1
+            finally:
+                storage.close()
+            if self.location.scheme == "file":
+                path = os.path.join(self.location.path, name)
+                if os.path.isdir(path):
+                    shutil.rmtree(path)
+                    removed = max(removed, 1)
+            elif self.location.scheme == "sqlite":
+                path = os.path.join(self.location.path, name + ".db")
+                if os.path.exists(path):
+                    os.remove(path)
+                    removed = max(removed, 1)
+            return removed
 
     def repo_names(self) -> List[str]:
         """Every hosted repository: on the backend plus opened this session."""
