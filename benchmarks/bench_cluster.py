@@ -191,3 +191,101 @@ def test_cluster_aggregate_scaling(benchmark, tmp_path):
             f"(speedup floor not asserted: {os.cpu_count()} core(s) < "
             f"{MIN_CORES_FOR_ASSERT})"
         )
+
+
+# ----------------------------------------------------------------------
+# Failover write availability: SIGKILL the primary, time the next write
+# ----------------------------------------------------------------------
+
+#: Health-probe settings for the failover scenario — aggressive so the
+#: detection window dominates neither the bench nor CI wall clock.
+FAILOVER_PROBE_INTERVAL = 0.25
+FAILOVER_PROBE_FAILURES = 2
+FAILOVER_PROBE_TIMEOUT = 1.0
+
+
+def test_failover_write_availability(benchmark, tmp_path):
+    """Kill a tenant's primary daemon mid-deployment and measure how long
+    the very next ``backup`` takes to land — detection, promotion, deep
+    verify and the router's map-refresh retry included.  Reported as
+    ``failover_write_seconds`` in ``BENCH_cluster_failover.json``."""
+    root = str(tmp_path / "failover")
+    specs = [
+        NodeSpec(f"n{i + 1}", "127.0.0.1:0", os.path.join(root, f"n{i + 1}"))
+        for i in range(3)
+    ]
+    from repro.cluster import assign_ports
+
+    cmap = assign_ports(ClusterMap(specs, replicas=2))
+    map_path = os.path.join(root, "cluster.json")
+    os.makedirs(root, exist_ok=True)
+    cmap.save(map_path)
+
+    tenant = "failover-tenant"
+    streams = _versions_for(seed=99)
+    results = {}
+
+    def run_failover():
+        with ClusterSupervisor(
+            cmap, map_path,
+            probe_interval=FAILOVER_PROBE_INTERVAL,
+            probe_failures=FAILOVER_PROBE_FAILURES,
+            probe_timeout=FAILOVER_PROBE_TIMEOUT,
+        ) as supervisor:
+            with ClusterClient(
+                [n.address for n in cmap.nodes], cluster_map=cmap,
+                write_retry_timeout=60.0,
+            ) as client:
+                repo = client.repo(tenant)
+                plan = [("stream-0.bin", len(streams[0]))]
+                repo.backup_blocks([streams[0]], plan, tag="v1")
+                primary = cmap.primary(tenant)
+                # Replicate v1 to the successor, then SIGKILL the primary.
+                from repro.client import RemoteRepository
+
+                seeder = RemoteRepository(primary.address, tenant)
+                try:
+                    seeder.cluster_sync(tenant)
+                finally:
+                    seeder.close()
+                supervisor.kill_node(primary.name)
+
+                started = time.perf_counter()
+                plan = [("stream-1.bin", len(streams[1]))]
+                report = repo.backup_blocks([streams[1]], plan, tag="v2")
+                elapsed = time.perf_counter() - started
+                assert report["version_id"] == 2
+
+                fresh = client.refresh()
+                assert primary.name in fresh.down_names()
+                restored = bytearray()
+                _plan, data = repo.restore(2)
+                for block in data:
+                    restored += block
+                assert bytes(restored) == streams[1]
+                results["failover_write_seconds"] = elapsed
+        return elapsed
+
+    benchmark.pedantic(run_failover, rounds=1, iterations=1)
+
+    detection_floor = FAILOVER_PROBE_FAILURES * FAILOVER_PROBE_INTERVAL
+    doc = {
+        "nodes": 3,
+        "replicas": 2,
+        "version_bytes": VERSION_BYTES,
+        "probe_interval": FAILOVER_PROBE_INTERVAL,
+        "probe_failures": FAILOVER_PROBE_FAILURES,
+        "probe_timeout": FAILOVER_PROBE_TIMEOUT,
+        "detection_floor_seconds": detection_floor,
+        "failover_write_seconds": results["failover_write_seconds"],
+        "cpu_count": os.cpu_count(),
+    }
+    write_bench_json("cluster_failover", doc)
+    emit(
+        f"write availability after primary SIGKILL: "
+        f"{doc['failover_write_seconds']:.2f}s to the next landed backup "
+        f"(probe floor {detection_floor:.2f}s, no operator action)"
+    )
+    # The write must land via automatic promotion, comfortably inside the
+    # router's retry budget; 30s is a hang, not a failover.
+    assert doc["failover_write_seconds"] < 30.0

@@ -44,6 +44,10 @@ GATED_METRICS = {
     # core-count-bound — baselines must come from a comparable runner.
     "cluster": ["speedup_3x"],
     "server_throughput": ["speedup_concurrent"],
+    # cluster_failover's failover_write_seconds is deliberately NOT gated:
+    # it is an absolute, hardware-dependent wall-clock where lower is
+    # better — the >15% drop rule would invert.  The committed baseline
+    # exists for trending; the bench itself asserts a hard ceiling.
 }
 
 BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")

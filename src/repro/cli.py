@@ -389,6 +389,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cluster_map=cluster_map,
         node_name=getattr(args, "node", None),
         replicate_interval=getattr(args, "replicate_interval", 0.0),
+        probe_interval=getattr(args, "probe_interval", 0.0),
+        probe_failures=getattr(args, "probe_failures", 3),
+        probe_timeout=getattr(args, "probe_timeout", 2.0),
     )
 
     async def run() -> None:
@@ -442,6 +445,9 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         os.makedirs(log_dir, exist_ok=True)
     supervisor = ClusterSupervisor(
         cmap, args.spec, replicate_interval=args.replicate_interval,
+        probe_interval=args.probe_interval,
+        probe_failures=args.probe_failures,
+        probe_timeout=args.probe_timeout,
     )
     stopping = []
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -456,11 +462,21 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
                 node, args.spec,
                 replicate_interval=args.replicate_interval,
                 log_json=log_json,
+                probe_interval=args.probe_interval,
+                probe_failures=args.probe_failures,
+                probe_timeout=args.probe_timeout,
             )
         for daemon in supervisor.daemons.values():
             daemon.wait_ready()
-    except BaseException:
+    except Exception:
         supervisor.stop()
+        raise
+    except BaseException:
+        # Ctrl-C during spawn: unwind best-effort, never swallow the signal.
+        try:
+            supervisor.stop()
+        except Exception:
+            pass
         raise
     print(
         f"cluster up: {len(cmap.nodes)} daemons, epoch {cmap.epoch}, "
@@ -495,16 +511,30 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
         doc = client.status(with_metrics=args.metrics)
     finally:
         client.close()
-    print(f"cluster epoch {doc['epoch']}, replicas {doc['replicas']}")
-    exit_code = 0
+    stale = "  MAP MAY BE STALE (no node answered the last refresh)" \
+        if doc.get("stale") else ""
+    print(f"cluster epoch {doc['epoch']}, replicas {doc['replicas']}{stale}")
+    if doc.get("down"):
+        print(f"  marked down (failed over): {', '.join(doc['down'])}")
+    exit_code = 1 if doc.get("stale") else 0
     for row in doc["nodes"]:
+        marked = " [marked down]" if row.get("marked_down") else ""
         if not row.get("alive"):
-            print(f"  {row['name']:<10s} {row['address']:<22s} DOWN ({row['error']})")
+            print(f"  {row['name']:<10s} {row['address']:<22s} "
+                  f"DOWN{marked} ({row['error']})")
             exit_code = 1
             continue
         drain = " draining" if row.get("draining") else ""
+        if "stats_error" in row:
+            # Reachable but degraded: the map frame answered, STATS did not.
+            print(
+                f"  {row['name']:<10s} {row['address']:<22s} up{drain}{marked} "
+                f"epoch={row['epoch']} STATS UNAVAILABLE ({row['stats_error']})"
+            )
+            exit_code = 1
+            continue
         print(
-            f"  {row['name']:<10s} {row['address']:<22s} up{drain} "
+            f"  {row['name']:<10s} {row['address']:<22s} up{drain}{marked} "
             f"epoch={row['epoch']} tenants={len(row['tenants'])} "
             f"conns={row['active_connections']} "
             f"uptime={row['uptime_seconds']}s"
@@ -829,6 +859,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between automatic replica syncs of "
                         "primary-owned tenants to their ring successors "
                         "(0 disables; needs --cluster-map and --node)")
+    p.add_argument("--probe-interval", type=float, default=0.0,
+                   help="seconds between health probes of this node's ring "
+                        "predecessor (0 disables; needs --cluster-map and "
+                        "--node).  Enables automatic failover: after "
+                        "--probe-failures consecutive misses this daemon "
+                        "marks the peer down in an epoch-bumped map, "
+                        "deep-verifies the replicas it inherits, and "
+                        "gossips the new map")
+    p.add_argument("--probe-failures", type=_positive_int, default=3,
+                   help="consecutive failed probes before a peer is "
+                        "declared dead")
+    p.add_argument("--probe-timeout", type=float, default=2.0,
+                   help="per-probe connect/read deadline in seconds")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("cluster", help="sharded multi-daemon cluster operations")
@@ -842,6 +885,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicate-interval", type=float, default=0.0,
                    help="per-daemon automatic replica-sync interval in "
                         "seconds (0 disables)")
+    p.add_argument("--probe-interval", type=float, default=0.0,
+                   help="per-daemon health-probe interval in seconds "
+                        "(0 disables automatic failover)")
+    p.add_argument("--probe-failures", type=_positive_int, default=3,
+                   help="consecutive failed probes before a node is "
+                        "declared dead and its successor promotes")
+    p.add_argument("--probe-timeout", type=float, default=2.0,
+                   help="per-probe connect/read deadline in seconds")
     p.add_argument("--log-dir", metavar="DIR", default=None,
                    help="write one JSON-lines event log per daemon "
                         "(<DIR>/<node>.jsonl)")

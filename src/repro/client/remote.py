@@ -625,16 +625,27 @@ class RemoteRepository:
     # ------------------------------------------------------------------
     # Cluster control plane
     # ------------------------------------------------------------------
-    def cluster_map(self) -> Dict:
+    def cluster_map(self, offer: Optional[Dict] = None) -> Dict:
         """The daemon's cluster view: ``{"map": doc|None, "node": name|None}``.
 
         Pure read, retried.  A daemon running outside any cluster answers
         with ``map: null`` — callers treat that as "not clustered", not as
         an error.
+
+        ``offer`` piggybacks gossip on the request: a clustered peer that
+        attaches its own map document lets the receiving daemon adopt it
+        if (and only if) it carries a strictly higher epoch.  This is how
+        health probes double as map propagation — a promotion minted
+        anywhere reaches every daemon the prober touches, and a rejoining
+        stale daemon learns the newer epoch from its first probe.  The
+        reply always carries the receiver's (possibly just-updated) map.
         """
+        payload: Dict = {"repo": None}
+        if offer is not None:
+            payload["map"] = offer
         return self._with_retries(
             lambda: self._simple_request(
-                FrameType.CLUSTER_MAP, {"repo": None}, FrameType.CLUSTER_MAP_OK,
+                FrameType.CLUSTER_MAP, payload, FrameType.CLUSTER_MAP_OK,
                 "cluster_map",
             )
         )

@@ -8,8 +8,12 @@ The scale-out layer above a single :class:`~repro.server.daemon.BackupDaemon`:
 - :mod:`.map` — the versioned :class:`ClusterMap` document (node list +
   ring parameters), invalidated by epoch.
 - :mod:`.client` — :class:`ClusterClient`, the client-side router: resolves
-  a tenant to its primary daemon, pools connections per address, and fails
-  restores over to ring-successor replicas when the primary dies.
+  a tenant to its primary daemon, pools connections per address, fails
+  restores over to ring-successor replicas when the primary dies, and
+  retries failed writes on the promoted primary a newer map names.
+- :mod:`.failover` — the demoted-node resync pull
+  (:func:`pull_tenant`); promotion itself lives in the daemon's health
+  prober, which marks dead nodes down in an epoch-bumped map.
 - :mod:`.supervisor` — spawn and supervise N daemons from one spec file
   (``hidestore cluster serve``), plus an in-process harness for tests.
 - :mod:`.rebalance` — move only the tenants whose ring ownership changed,
@@ -17,9 +21,10 @@ The scale-out layer above a single :class:`~repro.server.daemon.BackupDaemon`:
 """
 
 from .client import ClusterClient, RoutedRepository, failover_worthy
+from .failover import pull_tenant
 from .map import DEFAULT_REPLICAS, ClusterMap, NodeSpec, newer_map
 from .rebalance import ClusterRebalancer, hosted_tenants, moved_tenants
-from .ring import DEFAULT_VNODES, HashRing, moved_keys
+from .ring import DEFAULT_VNODES, HashRing, moved_keys, node_order
 from .supervisor import ClusterHarness, ClusterSupervisor, assign_ports
 
 __all__ = [
@@ -39,4 +44,6 @@ __all__ = [
     "moved_keys",
     "moved_tenants",
     "newer_map",
+    "node_order",
+    "pull_tenant",
 ]

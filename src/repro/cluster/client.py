@@ -10,8 +10,13 @@ daemon address** regardless of how many tenants route there, and hands out
 through the ring:
 
 * **mutating operations** (``backup_*``, ``delete_oldest``) go to the
-  tenant's ring *primary* and never fail over — a write landing on a
-  replica would fork the tenant's history;
+  tenant's ring *primary* and never blindly fail over — a write landing
+  on a replica would fork the tenant's history.  When the primary is
+  *dead* (transport failure) or answers :class:`~repro.errors.NotPrimaryError`,
+  the router enters a bounded retry loop: re-``refresh()`` the map until
+  a **newer epoch names a different primary** (the health-probe promotion
+  made by the dead node's ring successor), then retry exactly once on
+  that new primary — never on the node that failed, never on a replica;
 * **idempotent reads** (``versions``, ``stats``, ``verify``, opening a
   restore) walk the tenant's placement list — primary first, then ring
   successors — on *transport* failure only.  A typed domain error from a
@@ -35,6 +40,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from ..client.remote import ConnectionPool, RemoteRepository, parse_address
 from ..errors import (
     ClusterError,
+    NotPrimaryError,
     RemoteError,
     ReproError,
     ServerDrainingError,
@@ -70,6 +76,11 @@ class ClusterClient:
             freshest epoch still wins.
         timeout / retries / backoff / pool_size: forwarded to every
             underlying :class:`RemoteRepository`.
+        write_retry_timeout: how long (seconds) a failed *write* may wait
+            for a failover promotion to surface a new primary before
+            giving up (0 disables write retries entirely — the original
+            failure propagates).
+        write_retry_interval: map re-poll cadence inside that window.
     """
 
     def __init__(
@@ -82,6 +93,8 @@ class ClusterClient:
         pool_size: int = 2,
         event_log: Optional[EventLogger] = None,
         metrics: Optional[MetricsRegistry] = None,
+        write_retry_timeout: float = 15.0,
+        write_retry_interval: float = 0.25,
     ) -> None:
         self.seeds = [s.strip() for s in seeds if s and s.strip()]
         if not self.seeds and cluster_map is None:
@@ -93,6 +106,12 @@ class ClusterClient:
         self.pool_size = pool_size
         self.events = event_log if event_log is not None else EventLogger()
         self.metrics = metrics if metrics is not None else get_registry()
+        self.write_retry_timeout = write_retry_timeout
+        self.write_retry_interval = write_retry_interval
+        #: True when the last :meth:`refresh` could not reach ANY node and
+        #: is serving a possibly stale cached map (``cluster status`` shows
+        #: this so an operator knows the routing picture may be old).
+        self.map_stale = False
         self._pools: Dict[str, ConnectionPool] = {}
 
     # ------------------------------------------------------------------
@@ -145,6 +164,7 @@ class ClusterClient:
         ))
         freshest = self.map
         errors: List[str] = []
+        served = 0
         for address in addresses:
             try:
                 reply = self.remote(address, "-").cluster_map()
@@ -155,7 +175,18 @@ class ClusterClient:
             if doc is None:
                 errors.append(f"{address}: daemon is not part of a cluster")
                 continue
+            served += 1
             freshest = newer_map(freshest, ClusterMap.from_doc(doc))
+        self.map_stale = served == 0
+        if self.map_stale:
+            # Whatever we return below is at best the cached picture; say
+            # so loudly rather than silently routing on old placement.
+            self.metrics.inc("cluster.map_refresh_errors")
+            self.events.log(
+                "cluster_map_refresh_failed",
+                epoch=freshest.epoch if freshest is not None else None,
+                errors=errors[:8],
+            )
         if freshest is None:
             raise ClusterError(
                 "no seed served a cluster map: " + "; ".join(errors)
@@ -165,9 +196,26 @@ class ClusterClient:
                 "cluster_map_adopted",
                 epoch=freshest.epoch,
                 nodes=[n.name for n in freshest.nodes],
+                down=freshest.down_names(),
             )
         self.map = freshest
+        self._prune_pools(freshest)
         return freshest
+
+    def _prune_pools(self, cmap: ClusterMap) -> None:
+        """Close pools for addresses the adopted map no longer lists.
+
+        Membership changes (and failover address swaps) would otherwise
+        leak one pool — a few idle sockets plus their buffers — per
+        departed daemon for the life of the router.
+        """
+        keep = {node.address for node in cmap.nodes}
+        stale = [address for address in self._pools if address not in keep]
+        for address in stale:
+            self._pools.pop(address).close()
+        if stale:
+            self.metrics.inc("cluster.pools_pruned", len(stale))
+            self.events.log("cluster_pools_pruned", addresses=sorted(stale))
 
     def require_map(self) -> ClusterMap:
         if self.map is None:
@@ -187,25 +235,47 @@ class ClusterClient:
     # Operator views
     # ------------------------------------------------------------------
     def status(self, with_metrics: bool = False) -> Dict:
-        """Per-node liveness + stats for ``hidestore cluster status``."""
+        """Per-node liveness + stats for ``hidestore cluster status``.
+
+        One remote (one shared-pool borrow) per node serves both probes.
+        A node that answers ``CLUSTER_MAP`` but fails ``STATS`` is
+        reported alive with a ``stats_error`` — reachable-but-degraded is
+        operationally very different from dead.
+        """
+        try:
+            # Operators read status after incidents: show the freshest
+            # epoch (promotions, down markers), not the spec-file view.
+            self.refresh()
+        except ClusterError:
+            pass  # no map from anywhere; require_map raises if none cached
         cmap = self.require_map()
         nodes = []
         for node in cmap.nodes:
             row: Dict = {"name": node.name, "address": node.address}
+            if node.down:
+                row["marked_down"] = True
+            remote = self.remote(node.address, "-")
             try:
-                view = self.remote(node.address, "-").cluster_map()
-                stats = self.remote(node.address, "-").server_stats()
+                view = remote.cluster_map()
             except (ReproError, OSError) as exc:
                 row.update(alive=False, error=f"{type(exc).__name__}: {exc}")
                 nodes.append(row)
                 continue
             doc = view.get("map") or {}
-            server = stats.get("server", {})
             row.update(
                 alive=True,
                 draining=bool(view.get("draining")),
                 epoch=doc.get("epoch"),
                 node=view.get("node"),
+            )
+            try:
+                stats = remote.server_stats()
+            except (ReproError, OSError) as exc:
+                row["stats_error"] = f"{type(exc).__name__}: {exc}"
+                nodes.append(row)
+                continue
+            server = stats.get("server", {})
+            row.update(
                 tenants=sorted(stats.get("repos", {})),
                 uptime_seconds=round(float(server.get("uptime_seconds", 0.0)), 1),
                 active_connections=server.get("active_connections"),
@@ -218,7 +288,13 @@ class ClusterClient:
                     if key.startswith("cluster.")
                 }
             nodes.append(row)
-        return {"epoch": cmap.epoch, "replicas": cmap.replicas, "nodes": nodes}
+        return {
+            "epoch": cmap.epoch,
+            "replicas": cmap.replicas,
+            "stale": self.map_stale,
+            "down": cmap.down_names(),
+            "nodes": nodes,
+        }
 
     def sync_all(self) -> List[Dict]:
         """Ask every live node to replicate its owned tenants (``cluster sync``)."""
@@ -283,16 +359,93 @@ class RoutedRepository:
         )
 
     # ------------------------------------------------------------------
-    # Mutating operations: primary only, never failed over
+    # Mutating operations: current primary only, retried ONLY onto a
+    # newer map's new primary (failover promotion) — never onto a replica
     # ------------------------------------------------------------------
+    def _write_with_failover(self, op_name: str, attempt):
+        """Run a mutating ``attempt`` with the bounded failover retry.
+
+        ``attempt`` receives a :class:`RemoteRepository` bound to the
+        tenant's current primary.  On a transport failure (dead daemon) or
+        a :class:`NotPrimaryError` (the daemon's own fence says the map
+        moved on), the router polls :meth:`ClusterClient.refresh` for up
+        to ``write_retry_timeout`` seconds waiting for a map whose primary
+        is a *different node* — the promotion minted by the dead node's
+        ring successor — and retries there.  The failed node is never
+        re-sent the write, and a replica is never written to directly:
+        the only retry target the loop accepts is whatever a newer map
+        names as primary.
+        """
+        client = self.client
+        primary = client.placement(self.repo)[0]
+        client.metrics.inc("cluster.client_requests_routed")
+        try:
+            return attempt(client.remote(primary.address, self.repo))
+        except BaseException as exc:
+            if not (failover_worthy(exc) or isinstance(exc, NotPrimaryError)):
+                raise
+            if client.write_retry_timeout <= 0:
+                raise
+            last_error = exc
+        failed = primary.name
+        deadline = time.monotonic() + client.write_retry_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterError(
+                    f"{op_name} on {self.repo!r} failed on primary "
+                    f"{failed!r} and no failover promotion surfaced a new "
+                    f"primary within {client.write_retry_timeout:.1f}s: "
+                    f"{type(last_error).__name__}: {last_error}"
+                ) from last_error
+            time.sleep(min(client.write_retry_interval, remaining))
+            try:
+                fresh = client.refresh()
+            except ClusterError as exc:
+                last_error = exc
+                continue
+            new_primary = fresh.placement(self.repo)[0]
+            if new_primary.name == failed:
+                continue
+            client.metrics.inc("cluster.write_retries")
+            client.events.log(
+                "cluster_write_failover",
+                repo=self.repo,
+                op=op_name,
+                failed_node=failed,
+                new_node=new_primary.name,
+                epoch=fresh.epoch,
+                error=type(last_error).__name__,
+            )
+            try:
+                return attempt(client.remote(new_primary.address, self.repo))
+            except BaseException as exc:
+                if not (failover_worthy(exc) or isinstance(exc, NotPrimaryError)):
+                    raise
+                # The new primary died too (or is still verify-fenced);
+                # keep polling for yet another epoch until the deadline.
+                last_error = exc
+                failed = new_primary.name
+
     def backup_tree(self, entries: List[Tuple[str, str]], tag: str = "") -> Dict:
-        return self._primary_remote().backup_tree(entries, tag)
+        # Entries are re-read from disk on each attempt, so the retry is
+        # always safe to replay.
+        return self._write_with_failover(
+            "backup", lambda r: r.backup_tree(entries, tag)
+        )
 
     def backup_blocks(self, blocks: Iterable[bytes], plan: FilePlan, tag: str = "") -> Dict:
+        if isinstance(blocks, (list, tuple)):
+            # Re-iterable payload: safe to replay on a promoted primary.
+            return self._write_with_failover(
+                "backup", lambda r: r.backup_blocks(iter(blocks), plan, tag)
+            )
+        # A one-shot iterator may be partially consumed by a failed
+        # attempt; replaying it would upload a torn stream.  Single shot.
         return self._primary_remote().backup_blocks(blocks, plan, tag)
 
     def delete_oldest(self) -> Dict:
-        return self._primary_remote().delete_oldest()
+        return self._write_with_failover("delete_oldest", lambda r: r.delete_oldest())
 
     # ------------------------------------------------------------------
     # Idempotent operations: placement walk on transport failure

@@ -25,6 +25,14 @@ state small enough that recovery never bottlenecks on re-hashing).
 
 ``root`` is optional and only meaningful to the supervisor spawning local
 daemons; routing uses only ``name`` and ``address``.
+
+Failover extends the document without changing its shape: a node entry may
+carry ``"down": true`` (it stays in the map but placement demotes it to
+the back of every preference list), and the map may carry a bounded
+``promotions`` history recording which epoch marked which node down and
+which successor minted it.  Both round-trip through :meth:`as_doc` /
+:meth:`from_doc`; old documents (and old readers, which ignore unknown
+keys) remain valid.
 """
 
 from __future__ import annotations
@@ -35,24 +43,37 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import ClusterError
-from .ring import DEFAULT_VNODES, HashRing
+from .ring import DEFAULT_VNODES, HashRing, node_order
 
 #: Default copies per tenant (primary + 1 replica).
 DEFAULT_REPLICAS = 2
 
+#: Promotion-record history kept in the map document (observability only;
+#: placement depends solely on the node list and down markers).
+_MAX_PROMOTIONS = 16
+
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """One daemon in the cluster."""
+    """One daemon in the cluster.
+
+    ``down`` is the failover marker: a down node stays *in* the map (so a
+    rejoining daemon still finds itself, adopts the newer epoch and
+    demotes itself) but is moved to the back of every tenant's placement
+    list — its first live ring successor becomes the acting primary.
+    """
 
     name: str
     address: str
     root: str = ""
+    down: bool = False
 
     def as_doc(self) -> Dict[str, str]:
         doc = {"name": self.name, "address": self.address}
         if self.root:
             doc["root"] = self.root
+        if self.down:
+            doc["down"] = True
         return doc
 
 
@@ -65,6 +86,7 @@ class ClusterMap:
         epoch: int = 1,
         replicas: int = DEFAULT_REPLICAS,
         vnodes: int = DEFAULT_VNODES,
+        promotions: Optional[List[Dict]] = None,
     ) -> None:
         self.nodes: List[NodeSpec] = list(nodes)
         if not self.nodes:
@@ -84,6 +106,7 @@ class ClusterMap:
         self.epoch = int(epoch)
         self.replicas = int(replicas)
         self.vnodes = int(vnodes)
+        self.promotions: List[Dict] = list(promotions or [])[-_MAX_PROMOTIONS:]
         self._ring = HashRing(names, vnodes=self.vnodes)
         self._by_name = {node.name: node for node in self.nodes}
 
@@ -104,11 +127,27 @@ class ClusterMap:
         return name in self._by_name
 
     def placement(self, tenant: str) -> List[NodeSpec]:
-        """The tenant's copy holders: primary first, then ring successors."""
-        return [self._by_name[n] for n in self._ring.preference(tenant, self.replicas)]
+        """The tenant's copy holders: primary first, then ring successors.
+
+        Nodes marked ``down`` are pushed behind every live node, so when a
+        primary is declared dead its first live ring successor *becomes*
+        the primary — the promotion the failover machinery relies on.
+        With no down markers this is exactly the plain ring preference.
+        """
+        order = self._ring.preference(tenant, len(self.nodes))
+        live = [n for n in order if not self._by_name[n].down]
+        dead = [n for n in order if self._by_name[n].down]
+        return [self._by_name[n] for n in (live + dead)[: min(self.replicas, len(order))]]
 
     def primary(self, tenant: str) -> NodeSpec:
         return self.placement(tenant)[0]
+
+    def natural_primary(self, tenant: str) -> NodeSpec:
+        """The ring owner ignoring down markers — who would be primary if
+        every node were live.  A daemon that is acting primary while the
+        natural primary is down acquired the role via promotion and must
+        verify its replica before serving writes."""
+        return self._by_name[self._ring.primary(tenant)]
 
     def successors(self, tenant: str) -> List[NodeSpec]:
         """The replica holders (placement minus the primary)."""
@@ -118,15 +157,79 @@ class ClusterMap:
         return self.primary(tenant).name == node_name
 
     # ------------------------------------------------------------------
+    # Failover markers
+    # ------------------------------------------------------------------
+    def is_down(self, name: str) -> bool:
+        return self.node(name).down
+
+    def down_names(self) -> List[str]:
+        return [n.name for n in self.nodes if n.down]
+
+    def live_nodes(self) -> List[NodeSpec]:
+        return [n for n in self.nodes if not n.down]
+
+    def probe_target(self, node_name: str) -> Optional[NodeSpec]:
+        """The node ``node_name`` should health-probe: its nearest live
+        predecessor in ring-walk order.
+
+        Walking counter-clockwise and skipping down-marked nodes makes the
+        prober of any node exactly the node that would inherit its probe
+        duty (and, for its tenants, typically its primaries) — one live
+        successor per dead node, so promotion minting has a single owner.
+        Returns ``None`` for a single-node cluster or an unknown name.
+        """
+        order = node_order(n.name for n in self.nodes)
+        if node_name not in order or len(order) < 2:
+            return None
+        at = order.index(node_name)
+        for step in range(1, len(order)):
+            candidate = order[(at - step) % len(order)]
+            if candidate == node_name:
+                return None
+            if not self._by_name[candidate].down:
+                return self._by_name[candidate]
+        return None
+
+    def promote(self, dead: str, by: str) -> "ClusterMap":
+        """Mint the failover map: epoch + 1 with ``dead`` marked down.
+
+        Placement reorders itself (down nodes go last), so every tenant
+        whose primary was ``dead`` gets its first live ring successor as
+        the new primary — no per-tenant records needed.  A promotion
+        record (epoch, who died, who minted) is appended for operators;
+        it does not influence placement.
+        """
+        target = self.node(dead)
+        if target.down:
+            raise ClusterError(
+                f"node {dead!r} is already marked down in epoch {self.epoch}"
+            )
+        nodes = [
+            NodeSpec(n.name, n.address, n.root, down=True) if n.name == dead else n
+            for n in self.nodes
+        ]
+        record = {"epoch": self.epoch + 1, "down": dead, "by": by}
+        return ClusterMap(
+            nodes,
+            epoch=self.epoch + 1,
+            replicas=self.replicas,
+            vnodes=self.vnodes,
+            promotions=self.promotions + [record],
+        )
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def as_doc(self) -> Dict:
-        return {
+        doc = {
             "epoch": self.epoch,
             "replicas": self.replicas,
             "vnodes": self.vnodes,
             "nodes": [node.as_doc() for node in self.nodes],
         }
+        if self.promotions:
+            doc["promotions"] = [dict(record) for record in self.promotions]
+        return doc
 
     @classmethod
     def from_doc(cls, doc: object) -> "ClusterMap":
@@ -144,13 +247,16 @@ class ClusterMap:
                     name=str(entry["name"]),
                     address=str(entry["address"]),
                     root=str(entry.get("root", "") or ""),
+                    down=bool(entry.get("down", False)),
                 )
             )
+        promotions = doc.get("promotions")
         return cls(
             nodes,
             epoch=int(doc.get("epoch", 1)),
             replicas=int(doc.get("replicas", DEFAULT_REPLICAS)),
             vnodes=int(doc.get("vnodes", DEFAULT_VNODES)),
+            promotions=list(promotions) if isinstance(promotions, list) else None,
         )
 
     @classmethod
@@ -177,7 +283,8 @@ class ClusterMap:
     def with_nodes(self, nodes: Iterable[NodeSpec]) -> "ClusterMap":
         """A successor map (epoch + 1) with a changed node list."""
         return ClusterMap(
-            nodes, epoch=self.epoch + 1, replicas=self.replicas, vnodes=self.vnodes
+            nodes, epoch=self.epoch + 1, replicas=self.replicas,
+            vnodes=self.vnodes, promotions=self.promotions,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only

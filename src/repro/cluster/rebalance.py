@@ -105,9 +105,16 @@ class ClusterRebalancer:
         }
 
     def _source_for(self, tenant: str) -> NodeSpec:
-        """A surviving old holder to pull from (primary preferred)."""
+        """A surviving old holder to pull from (primary preferred).
+
+        Holders the old map marks ``down`` are probed last: after a
+        failover the down node may well be back and reachable, but the
+        promoted live holders took every write made in its absence.
+        """
         errors = []
-        for node in self.old.placement(tenant):
+        holders = self.old.placement(tenant)
+        holders = [n for n in holders if not n.down] + [n for n in holders if n.down]
+        for node in holders:
             try:
                 self.client.remote(node.address, tenant).replicate_state()
                 return node

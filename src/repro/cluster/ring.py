@@ -100,6 +100,20 @@ class HashRing:
         return {name: counts[name] / samples for name in self.nodes}
 
 
+def node_order(names: Iterable[str]) -> List[str]:
+    """Node names in clockwise ring-walk order (by their own hash point).
+
+    The health-probe topology: each daemon watches the first *live* node
+    counter-clockwise of itself in this order (its predecessor), so for
+    any dead node exactly one live successor is responsible for declaring
+    it dead and minting the promotion map — concurrent duelling epoch
+    bumps cannot happen in the steady state.  Node names hash to one
+    point each here (unlike tenant placement, which uses vnodes): probe
+    responsibility needs a total order, not load smoothing.
+    """
+    return sorted(set(names), key=lambda name: (_point(name), name))
+
+
 def moved_keys(
     before: HashRing, after: HashRing, keys: Iterable[str], replicas: int = 1
 ) -> List[str]:

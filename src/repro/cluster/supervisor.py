@@ -53,11 +53,11 @@ def assign_ports(cmap: ClusterMap, host: str = "127.0.0.1") -> ClusterMap:
         node_host, _, port = node.address.rpartition(":")
         if port == "0":
             nodes.append(NodeSpec(node.name, f"{node_host or host}:{free_port(host)}",
-                                  node.root))
+                                  node.root, down=node.down))
         else:
             nodes.append(node)
     return ClusterMap(nodes, epoch=cmap.epoch, replicas=cmap.replicas,
-                      vnodes=cmap.vnodes)
+                      vnodes=cmap.vnodes, promotions=cmap.promotions)
 
 
 def wait_listening(address: str, timeout: float = 10.0) -> None:
@@ -86,6 +86,9 @@ class DaemonProcess:
         map_path: str,
         replicate_interval: float = 0.0,
         log_json: Optional[str] = None,
+        probe_interval: float = 0.0,
+        probe_failures: int = 3,
+        probe_timeout: float = 2.0,
     ) -> None:
         if not node.root:
             raise ClusterError(f"node {node.name!r} has no root in the cluster spec")
@@ -98,6 +101,12 @@ class DaemonProcess:
         ]
         if replicate_interval > 0:
             argv += ["--replicate-interval", str(replicate_interval)]
+        if probe_interval > 0:
+            argv += [
+                "--probe-interval", str(probe_interval),
+                "--probe-failures", str(probe_failures),
+                "--probe-timeout", str(probe_timeout),
+            ]
         if log_json:
             argv += ["--log-json", log_json]
         env = dict(os.environ)
@@ -151,11 +160,17 @@ class ClusterSupervisor:
         map_path: str,
         replicate_interval: float = 0.0,
         log_json: Optional[str] = None,
+        probe_interval: float = 0.0,
+        probe_failures: int = 3,
+        probe_timeout: float = 2.0,
     ) -> None:
         self.map = cmap
         self.map_path = map_path
         self.replicate_interval = replicate_interval
         self.log_json = log_json
+        self.probe_interval = probe_interval
+        self.probe_failures = probe_failures
+        self.probe_timeout = probe_timeout
         self.daemons: Dict[str, DaemonProcess] = {}
 
     def start(self, timeout: float = 20.0) -> None:
@@ -165,11 +180,23 @@ class ClusterSupervisor:
                     node, self.map_path,
                     replicate_interval=self.replicate_interval,
                     log_json=self.log_json,
+                    probe_interval=self.probe_interval,
+                    probe_failures=self.probe_failures,
+                    probe_timeout=self.probe_timeout,
                 )
             for daemon in self.daemons.values():
                 daemon.wait_ready(timeout)
-        except BaseException:
+        except Exception:
+            # Unwind the half-started fleet on real failures, but let
+            # KeyboardInterrupt/SystemExit propagate immediately — the
+            # operator's Ctrl-C must not be swallowed by cleanup.
             self.stop()
+            raise
+        except BaseException:
+            try:
+                self.stop()
+            except Exception:
+                pass
             raise
 
     def stop(self) -> None:
@@ -242,8 +269,15 @@ class ClusterHarness:
                 )
                 thread.start()
                 self.threads[node.name] = thread
-        except BaseException:
+        except Exception:
             self.stop()
+            raise
+        except BaseException:
+            # Ctrl-C during startup: best-effort unwind, never swallow.
+            try:
+                self.stop()
+            except Exception:
+                pass
             raise
         return self.map
 

@@ -81,6 +81,19 @@ class ClusterError(ReproError):
     """
 
 
+class NotPrimaryError(ClusterError):
+    """A mutating request landed on a daemon that is not the tenant's
+    acting ring primary under the daemon's current cluster map.
+
+    The daemon-side write fence: after a promotion the old primary (or a
+    client routing on a stale epoch) must not extend tenant history — a
+    fork would be undetectable.  Also raised while a freshly promoted
+    primary's replica has not yet passed its deep verify.  The router
+    reacts by re-``refresh()``-ing its map and retrying on the *current*
+    primary; the error is authoritative, never a reason to try a replica.
+    """
+
+
 class RemoteError(ReproError):
     """A remote backup-service operation failed.
 

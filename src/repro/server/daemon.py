@@ -41,9 +41,10 @@ from ..client.protocol import (
     encode_error,
     encode_json,
 )
-from ..cluster.map import ClusterMap
+from ..cluster.map import ClusterMap, newer_map
 from ..errors import (
     ClusterError,
+    NotPrimaryError,
     ProtocolError,
     ReplicationError,
     ReproError,
@@ -245,6 +246,10 @@ class _Session:
     async def _handle_backup(self, obj: dict) -> None:
         if self.daemon.draining:
             raise ServerDrainingError("server is draining; retry the backup elsewhere")
+        # Write fencing + the promotion verify gate happen before the
+        # repository is even created: a fenced write must not leave an
+        # empty tenant directory behind.
+        await self.daemon.ensure_write_primary(obj.get("repo"))
         handle = self.daemon.registry.get(obj.get("repo"), create=True)
         # Vet names before any lock or stream: a traversal attempt
         # ('../x', absolute, control chars) dies here with a typed ERROR.
@@ -640,6 +645,13 @@ class _Session:
     # Cluster control plane
     # ------------------------------------------------------------------
     async def _handle_cluster_map(self, obj: dict) -> None:
+        # Gossip on ping: a clustered peer may attach its own map; adopt
+        # it when strictly newer (epoch monotonicity — never downgrade).
+        # This is how a promotion minted by one daemon reaches the rest,
+        # and how a rejoining stale daemon learns it was demoted.
+        offered = obj.get("map")
+        if offered is not None and self.daemon.cluster is not None:
+            self.daemon.adopt_cluster_map(offered, source="peer")
         cluster = self.daemon.cluster
         self.daemon.note_session("cluster_map")
         self.writer.write(
@@ -677,6 +689,7 @@ class _Session:
         await self.writer.drain()
 
     async def _handle_delete_oldest(self, obj: dict) -> None:
+        await self.daemon.ensure_write_primary(obj.get("repo"))
         handle = self.daemon.registry.get(obj.get("repo"))
         async with handle.lock.write_locked():
             handle.active_ops += 1
@@ -719,6 +732,18 @@ class BackupDaemon:
         replicate_interval: seconds between automatic replica syncs of
             primary-owned tenants to their ring successors (0 disables;
             requires ``cluster_map`` + ``node_name``).
+        probe_interval: seconds between health probes of this node's ring
+            predecessor (0 disables; requires ``cluster_map`` +
+            ``node_name``).  With probing on, ``probe_failures``
+            consecutive failed probes declare the predecessor dead: this
+            daemon mints an epoch-bumped map marking it down, deep-verifies
+            its own replicas of the tenants it inherits before adopting the
+            map, and gossips the new map to the live peers.
+        probe_failures: consecutive probe failures before a predecessor is
+            declared dead (>= 1).
+        probe_timeout: per-probe connect/read deadline in seconds — kept
+            short so a dead peer is detected in roughly
+            ``probe_failures * (probe_interval + probe_timeout)``.
     """
 
     def __init__(
@@ -737,6 +762,9 @@ class BackupDaemon:
         cluster_map: Optional[object] = None,
         node_name: Optional[str] = None,
         replicate_interval: float = 0.0,
+        probe_interval: float = 0.0,
+        probe_failures: int = 3,
+        probe_timeout: float = 2.0,
     ) -> None:
         if window < 1:
             raise ReproError("credit window must be at least 1 frame")
@@ -757,7 +785,14 @@ class BackupDaemon:
             raise ClusterError(
                 "replicate_interval needs a cluster map and a node name"
             )
+        if probe_interval > 0 and (self.cluster is None or not node_name):
+            raise ClusterError("probe_interval needs a cluster map and a node name")
+        if probe_failures < 1:
+            raise ClusterError(f"probe_failures must be >= 1, got {probe_failures}")
         self.replicate_interval = replicate_interval
+        self.probe_interval = probe_interval
+        self.probe_failures = probe_failures
+        self.probe_timeout = probe_timeout
         self.metrics = metrics if metrics is not None else get_registry()
         # Hosted repositories record their stage timings (chunking, dedup,
         # container I/O) into the daemon's registry, so STATS metrics tell
@@ -775,6 +810,13 @@ class BackupDaemon:
         self._sessions: Set[asyncio.Task] = set()
         self._reporter: Optional[asyncio.Task] = None
         self._syncer: Optional[asyncio.Task] = None
+        self._prober: Optional[asyncio.Task] = None
+        self._resyncer: Optional[asyncio.Task] = None
+        # Promotion verify gate state, keyed (tenant, epoch): tenants whose
+        # replica passed the deep verify for an epoch vs. tenants fenced
+        # because the verify failed (or the local copy is missing).
+        self._promotion_ok: Set[Tuple[str, int]] = set()
+        self._fenced: Set[Tuple[str, int]] = set()
         self._started = time.monotonic()
         self._session_counts: Dict[str, int] = {}
 
@@ -789,6 +831,8 @@ class BackupDaemon:
             self._reporter = asyncio.ensure_future(self._report_metrics())
         if self.replicate_interval > 0:
             self._syncer = asyncio.ensure_future(self._replica_sync_loop())
+        if self.probe_interval > 0:
+            self._prober = asyncio.ensure_future(self._health_loop())
 
     async def _report_metrics(self) -> None:
         while True:
@@ -935,6 +979,318 @@ class BackupDaemon:
                 )
 
     # ------------------------------------------------------------------
+    # Health-driven failover: probe -> promote -> verify -> gossip.
+    # ------------------------------------------------------------------
+    def adopt_cluster_map(self, doc: object, source: str = "peer") -> bool:
+        """Adopt ``doc`` if it is a strictly newer epoch than our map.
+
+        Epoch monotonicity is the whole safety story for map exchange:
+        adopt-highest, never downgrade.  A daemon that learns (from any
+        peer, usually via its own health probe) that a newer map marks
+        *itself* down demotes: it schedules a resync pull of every hosted
+        tenant from that tenant's acting primary, and until placement says
+        otherwise its write fence (:meth:`ensure_write_primary`) refuses
+        mutations — the rejoining old primary cannot fork history.
+        """
+        if self.cluster is None:
+            return False
+        try:
+            candidate = doc if isinstance(doc, ClusterMap) else ClusterMap.from_doc(doc)
+        except ClusterError:
+            return False
+        fresh = newer_map(self.cluster, candidate)
+        if fresh is self.cluster:
+            return False
+        was_down = bool(self.node_name) and self.cluster.has_node(self.node_name) \
+            and self.cluster.is_down(self.node_name)
+        self.cluster = fresh
+        self.metrics.inc("cluster.maps_adopted")
+        self.events.log(
+            "cluster_map_adopted",
+            epoch=fresh.epoch,
+            source=source,
+            down=fresh.down_names(),
+        )
+        now_down = bool(self.node_name) and fresh.has_node(self.node_name) \
+            and fresh.is_down(self.node_name)
+        if now_down and not was_down:
+            self.metrics.inc("cluster.demotions")
+            self.events.log(
+                "cluster_demoted", node=self.node_name, epoch=fresh.epoch
+            )
+            self._schedule_resync()
+        return True
+
+    def _schedule_resync(self) -> None:
+        if self._resyncer is not None and not self._resyncer.done():
+            return
+        self._resyncer = asyncio.ensure_future(self._resync_demoted())
+
+    async def _resync_demoted(self) -> None:
+        """Pull every hosted tenant back in sync from its acting primary.
+
+        Runs on a daemon that discovered (via map adoption) it was marked
+        down while it was away: whatever it missed lives on the promoted
+        primaries now.  Each pull is the O(delta) planner diff
+        (:func:`~repro.cluster.failover.pull_tenant`) under the tenant's
+        write lock, so a concurrent restore never sees a torn copy.
+        """
+        from ..client.remote import RemoteRepository
+        from ..cluster.failover import pull_tenant
+
+        cluster = self.cluster
+        if cluster is None or not self.node_name:
+            return
+        names = await asyncio.to_thread(self.registry.repo_names)
+        for name in names:
+            acting = cluster.primary(name)
+            if acting.name == self.node_name or acting.down:
+                continue
+            remote = RemoteRepository(
+                acting.address, name, timeout=max(self.probe_timeout, 10.0),
+                retries=1, backoff=0.0,
+            )
+            try:
+                handle = self.registry.get(name)
+                async with handle.lock.write_locked():
+                    report = await asyncio.to_thread(
+                        pull_tenant, remote, handle.repository.root
+                    )
+                    handle.repository.invalidate()
+                self.metrics.inc("cluster.resyncs")
+                self.events.log(
+                    "cluster_resync", repo=name, source=acting.name, **report
+                )
+            except (ReproError, OSError) as exc:
+                self.metrics.inc("cluster.resync_failures")
+                self.events.log(
+                    "cluster_resync_failed",
+                    repo=name,
+                    source=acting.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            finally:
+                await asyncio.to_thread(remote.close)
+
+    def _probe_once(self, address: str, offer: Dict) -> Tuple[bool, Optional[Dict]]:
+        """One blocking health probe (runs in a worker thread).
+
+        A ``CLUSTER_MAP`` round-trip with our own map attached: cheap
+        liveness check and map gossip in one frame.  Short timeout, no
+        retries — the health loop owns the consecutive-failure counting.
+        """
+        from ..client.remote import RemoteRepository
+
+        remote = RemoteRepository(
+            address, "-", timeout=self.probe_timeout, retries=1, backoff=0.0
+        )
+        try:
+            reply = remote.cluster_map(offer=offer)
+            return True, reply.get("map")
+        finally:
+            remote.close()
+
+    async def _health_loop(self) -> None:
+        """Probe the ring predecessor; promote after N consecutive failures.
+
+        Every daemon probes exactly one peer — its nearest *live*
+        predecessor in ring-walk order — so each node has exactly one
+        watcher and a promotion has a single minting owner (the watcher is
+        also the node that inherits the dead node's primaries).  Probes
+        double as gossip: the peer's map rides back on the reply and newer
+        epochs are adopted, which is how a rejoining stale daemon finds
+        out about its own demotion within one probe interval.
+        """
+        failures = 0
+        watched: Optional[str] = None
+        while True:
+            await asyncio.sleep(self.probe_interval)
+            if self.draining:
+                return
+            cluster = self.cluster
+            if cluster is None or not self.node_name:
+                continue
+            target = cluster.probe_target(self.node_name)
+            if target is None:
+                continue
+            if target.name != watched:
+                watched = target.name
+                failures = 0
+            try:
+                ok, peer_doc = await asyncio.to_thread(
+                    self._probe_once, target.address, cluster.as_doc()
+                )
+            except (ReproError, OSError) as exc:
+                ok, peer_doc = False, None
+                error = f"{type(exc).__name__}: {exc}"
+            if ok:
+                failures = 0
+                if peer_doc is not None:
+                    self.adopt_cluster_map(peer_doc, source=target.name)
+                continue
+            failures += 1
+            self.metrics.inc("cluster.probe_failures")
+            self.events.log(
+                "cluster_probe_failed",
+                node=self.node_name,
+                target=target.name,
+                failures=failures,
+                threshold=self.probe_failures,
+                error=error,
+            )
+            if failures >= self.probe_failures:
+                failures = 0
+                try:
+                    await self._promote_dead(target.name)
+                except ClusterError:
+                    # Raced with another map change (e.g. the peer was
+                    # already marked down via gossip); the next probe
+                    # re-reads the map and re-targets.
+                    pass
+
+    async def _promote_dead(self, dead: str) -> None:
+        """Mint and adopt the failover map declaring ``dead`` down.
+
+        Verify-before-serve: before the minted map is adopted (and hence
+        before the write fence lets the first redirected write through),
+        every tenant this node inherits the primary role for gets its
+        local replica deep-verified — the same re-hash-every-chunk check
+        the rebalancer runs before a ``TENANT_DROP``.  Tenants that fail
+        (or are missing locally) stay fenced; healthy tenants start taking
+        writes immediately.  The map then gossips to all live peers so
+        clients can learn the new epoch from any seed.
+        """
+        cluster = self.cluster
+        if cluster is None or not self.node_name:
+            return
+        promoted = cluster.promote(dead, by=self.node_name)
+        names = await asyncio.to_thread(self.registry.repo_names)
+        gained = [
+            name
+            for name in names
+            if promoted.primary(name).name == self.node_name
+            and cluster.primary(name).name == dead
+        ]
+        for name in gained:
+            await self._verify_promoted(name, promoted.epoch)
+        self.cluster = promoted
+        self.metrics.inc("cluster.promotions")
+        self.events.log(
+            "cluster_promoted",
+            node=self.node_name,
+            dead=dead,
+            epoch=promoted.epoch,
+            tenants=gained,
+        )
+        await self._offer_map(promoted)
+
+    async def _offer_map(self, cmap: ClusterMap) -> None:
+        """Push ``cmap`` to every live peer (best effort, gossip backstop)."""
+        doc = cmap.as_doc()
+        for node in cmap.live_nodes():
+            if node.name == self.node_name:
+                continue
+            try:
+                await asyncio.to_thread(self._probe_once, node.address, doc)
+            except (ReproError, OSError):  # pragma: no cover - peer down
+                pass
+
+    async def _verify_promoted(self, name: str, epoch: int) -> bool:
+        """Deep-verify the local replica of ``name`` for promotion ``epoch``.
+
+        The PR 7 verify-before-drop check repurposed as verify-before-
+        serve: every chunk of every container is re-hashed against its
+        fingerprint before this node accepts a write for a tenant it was
+        promoted into.  Results are cached per (tenant, epoch); a missing
+        local copy is conservatively fenced — inventing a fresh history
+        for a tenant we never replicated is exactly the fork this exists
+        to prevent.
+        """
+        key = (name, epoch)
+        if key in self._promotion_ok:
+            return True
+        if key in self._fenced:
+            return False
+        try:
+            handle = self.registry.get(name)
+        except RemoteError:
+            self._fenced.add(key)
+            self.metrics.inc("cluster.promotion_verify_failures")
+            self.events.log(
+                "cluster_promotion_verify_failed",
+                repo=name,
+                epoch=epoch,
+                error="no local replica",
+            )
+            return False
+        try:
+            async with handle.lock.read_locked():
+                handle.active_ops += 1
+                try:
+                    report = await asyncio.to_thread(
+                        handle.repository.verify, True
+                    )
+                finally:
+                    handle.active_ops -= 1
+        except (ReproError, OSError) as exc:
+            self._fenced.add(key)
+            self.metrics.inc("cluster.promotion_verify_failures")
+            self.events.log(
+                "cluster_promotion_verify_failed",
+                repo=name,
+                epoch=epoch,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return False
+        ok = bool(report.get("ok"))
+        if ok:
+            self._promotion_ok.add(key)
+            self.events.log(
+                "cluster_promotion_verified",
+                repo=name,
+                epoch=epoch,
+                entries=report.get("entries_checked"),
+            )
+        else:
+            self._fenced.add(key)
+            self.metrics.inc("cluster.promotion_verify_failures")
+            self.events.log(
+                "cluster_promotion_verify_failed",
+                repo=name,
+                epoch=epoch,
+                error=report.get("summary", "verify failed"),
+            )
+        return ok
+
+    async def ensure_write_primary(self, name: Optional[str]) -> None:
+        """The write fence: refuse mutations we are not entitled to take.
+
+        Raises :class:`NotPrimaryError` when this clustered daemon is not
+        the tenant's acting primary under its current map (a stale client,
+        or a rejoined old primary the client has not re-routed from), and
+        when this node *is* acting primary via promotion but the replica
+        has not passed its deep verify yet.  Unclustered daemons are
+        unaffected.
+        """
+        if self.cluster is None or not self.node_name or not name:
+            return
+        acting = self.cluster.primary(name)
+        if acting.name != self.node_name:
+            raise NotPrimaryError(
+                f"node {self.node_name!r} is not the primary for {name!r} "
+                f"in epoch {self.cluster.epoch} ({acting.name!r} is); "
+                "refresh the cluster map and retry there"
+            )
+        if self.cluster.natural_primary(name).name == self.node_name:
+            return
+        if not await self._verify_promoted(name, self.cluster.epoch):
+            raise NotPrimaryError(
+                f"promotion of {name!r} to node {self.node_name!r} "
+                f"(epoch {self.cluster.epoch}) is not verified; "
+                "writes are fenced until the replica passes deep verify"
+            )
+
+    # ------------------------------------------------------------------
     async def shutdown(self, drain_timeout: Optional[float] = None) -> None:
         """Graceful drain: stop accepting, let sessions finish, then cancel.
 
@@ -945,6 +1301,15 @@ class BackupDaemon:
         """
         timeout = self.drain_timeout if drain_timeout is None else drain_timeout
         self.draining = True
+        for attr in ("_prober", "_resyncer"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         if self._syncer is not None:
             self._syncer.cancel()
             try:
