@@ -15,6 +15,7 @@ daemon's event loop only shuttles frames; engine work runs on worker
 threads per backup.
 """
 
+import os
 import random
 import threading
 import time
@@ -27,6 +28,9 @@ from repro.units import MiB
 
 #: Concurrent-client count for the scaling scenario.
 CLIENTS = 4
+
+#: Shared multiprocess ingest plane size (``serve --ingest-workers``).
+INGEST_WORKERS = 4
 
 #: Versions per client and logical bytes per version.
 VERSIONS = 3
@@ -60,18 +64,18 @@ def _drive_client(address, tenant, streams, latencies):
 
 def _run_scenario(address, tenants, datasets):
     """Back up each dataset to its tenant from its own thread; returns
-    (elapsed wall-clock seconds, sorted per-backup latencies)."""
-    latencies = []
+    (elapsed wall-clock seconds, per-client latency lists)."""
+    per_client = [[] for _ in tenants]
     threads = [
-        threading.Thread(target=_drive_client, args=(address, t, d, latencies))
-        for t, d in zip(tenants, datasets)
+        threading.Thread(target=_drive_client, args=(address, t, d, lat))
+        for t, d, lat in zip(tenants, datasets, per_client)
     ]
     started = time.perf_counter()
     for t in threads:
         t.start()
     for t in threads:
         t.join()
-    return time.perf_counter() - started, sorted(latencies)
+    return time.perf_counter() - started, [sorted(lat) for lat in per_client]
 
 
 def _pct(sorted_values, q):
@@ -80,13 +84,25 @@ def _pct(sorted_values, q):
 
 def test_server_ingest_scaling(benchmark, tmp_path):
     datasets = [_versions_for(seed) for seed in range(CLIENTS)]
-    per_client = sum(len(s) for s in datasets[0])
+    per_client_bytes = sum(len(s) for s in datasets[0])
+    cpus = os.cpu_count() or 1
     results = {}
+    registries = {"one": MetricsRegistry(), "many": MetricsRegistry()}
 
     def run_all():
-        with DaemonThread(str(tmp_path / "one")) as address:
+        # Both scenarios run against the shared multiprocess ingest plane:
+        # one daemon-lifetime chunking pool shared by every tenant.
+        with DaemonThread(
+            str(tmp_path / "one"),
+            ingest_workers=INGEST_WORKERS,
+            metrics=registries["one"],
+        ) as address:
             results["one"] = _run_scenario(address, ["solo"], datasets[:1])
-        with DaemonThread(str(tmp_path / "many")) as address:
+        with DaemonThread(
+            str(tmp_path / "many"),
+            ingest_workers=INGEST_WORKERS,
+            metrics=registries["many"],
+        ) as address:
             results["many"] = _run_scenario(
                 address, [f"tenant{i}" for i in range(CLIENTS)], datasets
             )
@@ -96,47 +112,67 @@ def test_server_ingest_scaling(benchmark, tmp_path):
 
     rows = []
     mbps = {}
+    chunk_seconds = {}
+    doc = {
+        "clients": CLIENTS,
+        "versions": VERSIONS,
+        "version_bytes": VERSION_BYTES,
+        "cpus": cpus,
+        "ingest_workers": INGEST_WORKERS,
+    }
     for key, label, nbytes in (
-        ("one", "1 client", per_client),
-        ("many", f"{CLIENTS} clients", per_client * CLIENTS),
+        ("one", "1 client", per_client_bytes),
+        ("many", f"{CLIENTS} clients", per_client_bytes * CLIENTS),
     ):
-        elapsed, latencies = results[key]
+        elapsed, per_client = results[key]
+        pooled = sorted(lat for client in per_client for lat in client)
         mbps[key] = nbytes / elapsed / MiB
+        # Daemon-side chunking-stage wall time: how long the dedup engine
+        # spent blocked on the upstream chunk+hash stage across all backups.
+        chunk_seconds[key] = registries[key].histogram("repo.chunking_seconds").sum
+        doc[key] = {
+            "seconds": elapsed,
+            "aggregate_mbps": mbps[key],
+            "p50_seconds": _pct(pooled, 0.50),
+            "p95_seconds": _pct(pooled, 0.95),
+            "per_client_p95_seconds": [_pct(c, 0.95) for c in per_client],
+            "chunking_stage_seconds": chunk_seconds[key],
+        }
         rows.append(
             [
                 label,
                 f"{nbytes / MiB:.0f} MB",
                 f"{mbps[key]:.1f} MB/s",
-                f"{_pct(latencies, 0.50) * 1000:.0f} ms",
-                f"{_pct(latencies, 0.95) * 1000:.0f} ms",
+                f"{_pct(pooled, 0.50) * 1000:.0f} ms",
+                f"{_pct(pooled, 0.95) * 1000:.0f} ms",
+                f"{chunk_seconds[key]:.2f} s",
             ]
         )
     table(
-        ["scenario", "logical", "aggregate", "p50 backup", "p95 backup"],
+        ["scenario", "logical", "aggregate", "p50 backup", "p95 backup", "chunk stage"],
         rows,
         title=(
             f"Networked ingest — {VERSIONS} versions x {VERSION_BYTES / MiB:.0f} MB "
-            f"per client, {CHURN:.0%} churn"
+            f"per client, {CHURN:.0%} churn, {INGEST_WORKERS} ingest workers, "
+            f"{cpus} CPUs"
         ),
     )
+    doc["speedup_concurrent"] = mbps["many"] / mbps["one"]
     emit(
-        f"concurrent/solo aggregate throughput: {mbps['many'] / mbps['one']:.2f}x"
+        f"concurrent/solo aggregate throughput: {doc['speedup_concurrent']:.2f}x "
+        f"({cpus} CPUs)"
     )
-    write_bench_json(
-        "server_throughput",
-        {
-            "clients": CLIENTS,
-            "versions": VERSIONS,
-            "version_bytes": VERSION_BYTES,
-            "one": {"seconds": results["one"][0], "aggregate_mbps": mbps["one"]},
-            "many": {"seconds": results["many"][0], "aggregate_mbps": mbps["many"]},
-            "speedup_concurrent": mbps["many"] / mbps["one"],
-        },
-    )
+    write_bench_json("server_throughput", doc)
 
-    # Concurrency must help, not serialise: N tenants together must beat a
-    # single client's throughput (conservative floor — CI boxes vary).
-    assert mbps["many"] > mbps["one"]
+    # Concurrency must multiply throughput — but only where the hardware
+    # can express it.  With >= 4 cores the shared pool must deliver >= 2x
+    # aggregate scaling; on smaller runners ingest is CPU-bound end to end
+    # (one core runs client, daemon and workers), so the assertion degrades
+    # to a collapse guard: concurrency must not cost half the throughput.
+    if cpus >= 4:
+        assert doc["speedup_concurrent"] >= 2.0
+    else:
+        assert doc["speedup_concurrent"] >= 0.5
 
 
 # ----------------------------------------------------------------------

@@ -10,8 +10,10 @@ from .protocol import (
     FrameDecoder,
     FrameType,
     encode_data,
+    encode_data_header,
     encode_error,
     encode_json,
+    frame_parts,
     raise_remote_error,
 )
 from .remote import ConnectionPool, RemoteRepository
@@ -23,7 +25,9 @@ __all__ = [
     "FrameType",
     "RemoteRepository",
     "encode_data",
+    "encode_data_header",
     "encode_error",
     "encode_json",
+    "frame_parts",
     "raise_remote_error",
 ]

@@ -115,6 +115,32 @@ def encode_frame(ftype: FrameType, payload: bytes = b"") -> bytes:
     return _HEADER.pack(len(payload), int(ftype)) + payload
 
 
+def frame_parts(ftype: FrameType, payload=b"") -> Tuple[bytes, "bytes | memoryview"]:
+    """One frame as ``(header, payload)`` for gather I/O.
+
+    The zero-copy send primitive: the caller hands both pieces to
+    ``socket.sendmsg`` / ``writer.writelines`` so header and payload reach
+    the kernel without ever being concatenated into a fresh buffer.  The
+    payload may be any bytes-like object (``memoryview`` slices included).
+    """
+    length = len(payload)
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame payload of {length} B exceeds {MAX_PAYLOAD} B")
+    return _HEADER.pack(length, int(ftype)), payload
+
+
+def encode_data_header(length: int) -> bytes:
+    """Just the header of a CHUNK_DATA frame whose body follows separately.
+
+    Lets a sender scatter one logical data frame out of many buffers
+    (``writer.writelines([header, *blobs])``) or stream the body straight
+    off disk (``os.sendfile``) without assembling it in user space.
+    """
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame payload of {length} B exceeds {MAX_PAYLOAD} B")
+    return _HEADER.pack(length, int(FrameType.CHUNK_DATA))
+
+
 def encode_json(ftype: FrameType, obj: dict) -> bytes:
     """Serialise a control frame with a JSON payload."""
     return encode_frame(ftype, json.dumps(obj, separators=(",", ":")).encode("utf-8"))
@@ -154,10 +180,15 @@ def decode_header(header: bytes) -> Tuple[int, FrameType]:
         raise ProtocolError(f"unknown frame type {raw_type}") from None
 
 
-def decode_json(payload: bytes) -> dict:
-    """Parse a control payload, mapping malformed input to ProtocolError."""
+def decode_json(payload) -> dict:
+    """Parse a control payload, mapping malformed input to ProtocolError.
+
+    Accepts any bytes-like object (``memoryview`` slices from the
+    zero-copy decoder included) — JSON parsing copies anyway, so this is
+    the natural place buffers become objects.
+    """
     try:
-        obj = json.loads(payload.decode("utf-8"))
+        obj = json.loads(bytes(payload).decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"malformed control payload: {exc}") from exc
     if not isinstance(obj, dict):
@@ -173,25 +204,45 @@ def raise_remote_error(payload: bytes) -> None:
 
 
 class FrameDecoder:
-    """Incremental frame decoder over an untrusted byte stream.
+    """Incremental zero-copy frame decoder over an untrusted byte stream.
 
     Feed it arbitrarily sliced network reads; it yields complete
     ``(FrameType, payload)`` pairs and raises :class:`ProtocolError` on
     garbage (unknown type, oversized payload).  Sans-I/O: usable from the
     blocking client, the asyncio server, and tests alike.
+
+    Received buffers are kept as a list of :class:`memoryview`\\ s over the
+    immutable ``bytes`` the socket handed us — ``CHUNK_DATA`` payloads
+    landing inside one read come back as a *slice of the receive buffer*,
+    never a copy (the dominant case: a restore's 256 KiB data frames vs
+    the default 256 KiB socket reads).  Only frames straddling a read
+    boundary pay one reassembly copy.  Control payloads are returned as
+    ``bytes`` — they are small, and JSON decoding copies regardless.
     """
 
     def __init__(self) -> None:
-        self._buffer = bytearray()
+        self._chunks: List[memoryview] = []
+        self._size = 0
+        self._header: Optional[Tuple[int, FrameType]] = None
 
     @property
     def pending(self) -> int:
         """Bytes buffered but not yet forming a complete frame."""
-        return len(self._buffer)
+        extra = HEADER_SIZE if self._header is not None else 0
+        return self._size + extra
 
-    def feed(self, data: bytes) -> List[Tuple[FrameType, bytes]]:
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return self.pending
+
+    def feed(self, data: bytes) -> List[Tuple[FrameType, "bytes | memoryview"]]:
         """Add received bytes; return every frame completed by them."""
-        self._buffer.extend(data)
+        if data:
+            # bytes is immutable, so viewing (not copying) it is safe for
+            # as long as any returned payload slice stays alive.
+            self._chunks.append(memoryview(data))
+            self._size += len(data)
         frames = []
         while True:
             frame = self._pop()
@@ -199,26 +250,57 @@ class FrameDecoder:
                 return frames
             frames.append(frame)
 
-    def _pop(self) -> Optional[Tuple[FrameType, bytes]]:
-        if len(self._buffer) < HEADER_SIZE:
-            return None
-        length, raw_type = _HEADER.unpack_from(self._buffer, 0)
-        if length > MAX_PAYLOAD:
-            raise ProtocolError(f"frame announces {length} B payload (max {MAX_PAYLOAD})")
-        try:
-            ftype = FrameType(raw_type)
-        except ValueError:
-            raise ProtocolError(f"unknown frame type {raw_type}") from None
-        if len(self._buffer) < HEADER_SIZE + length:
-            return None
-        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
-        del self._buffer[: HEADER_SIZE + length]
-        return ftype, payload
+    def _take(self, length: int) -> memoryview:
+        """Consume exactly ``length`` buffered bytes (caller checked size).
 
-    @property
-    def pending_bytes(self) -> int:
-        """Bytes buffered that do not yet form a complete frame."""
-        return len(self._buffer)
+        Zero-copy when the span lives inside the first chunk; a straddling
+        span is reassembled once.
+        """
+        self._size -= length
+        first = self._chunks[0]
+        if len(first) >= length:
+            if len(first) == length:
+                self._chunks.pop(0)
+            else:
+                self._chunks[0] = first[length:]
+            return first[:length]
+        parts = bytearray()
+        need = length
+        while need:
+            first = self._chunks[0]
+            if len(first) <= need:
+                parts += first
+                need -= len(first)
+                self._chunks.pop(0)
+            else:
+                parts += first[:need]
+                self._chunks[0] = first[need:]
+                need = 0
+        return memoryview(bytes(parts))
+
+    def _pop(self) -> Optional[Tuple[FrameType, "bytes | memoryview"]]:
+        if self._header is None:
+            if self._size < HEADER_SIZE:
+                return None
+            length, raw_type = _HEADER.unpack(self._take(HEADER_SIZE))
+            if length > MAX_PAYLOAD:
+                raise ProtocolError(
+                    f"frame announces {length} B payload (max {MAX_PAYLOAD})"
+                )
+            try:
+                self._header = (length, FrameType(raw_type))
+            except ValueError:
+                raise ProtocolError(f"unknown frame type {raw_type}") from None
+        length, ftype = self._header
+        if self._size < length:
+            return None
+        self._header = None
+        if not length:
+            return ftype, b""
+        payload = self._take(length)
+        if ftype == FrameType.CHUNK_DATA:
+            return ftype, payload
+        return ftype, bytes(payload)
 
 
 def check_hello(payload: bytes) -> dict:
@@ -238,8 +320,10 @@ def check_hello(payload: bytes) -> dict:
 def iter_data_blocks(blocks: "Iterator[bytes]", block_size: int = DATA_BLOCK) -> Iterator[bytes]:
     """Re-slice a byte-block stream into wire-friendly CHUNK_DATA payloads.
 
-    Oversized source blocks are split; tiny ones pass through unmerged
-    (coalescing would add latency for no framing benefit).
+    Oversized source blocks are split into ``memoryview`` slices (no
+    copies — the sender's gather I/O takes any bytes-like payload); tiny
+    ones pass through unmerged (coalescing would add latency for no
+    framing benefit).
     """
     for block in blocks:
         if len(block) <= block_size:
@@ -248,4 +332,4 @@ def iter_data_blocks(blocks: "Iterator[bytes]", block_size: int = DATA_BLOCK) ->
             continue
         view = memoryview(block)
         for offset in range(0, len(block), block_size):
-            yield bytes(view[offset : offset + block_size])
+            yield view[offset : offset + block_size]

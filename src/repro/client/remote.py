@@ -26,7 +26,13 @@ import threading
 import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from ..errors import ProtocolError, RemoteError, ReproError, TimeoutExceededError
+from ..errors import (
+    ProtocolError,
+    RemoteError,
+    ReproError,
+    RetryBudgetExceededError,
+    TimeoutExceededError,
+)
 from ..observability import EventLogger, MetricsRegistry, get_registry, new_trace_id
 from ..repository import FilePlan, stream_blocks
 from .protocol import (
@@ -35,9 +41,9 @@ from .protocol import (
     FrameType,
     check_hello,
     decode_json,
-    encode_data,
     encode_frame,
     encode_json,
+    frame_parts,
     hello_frame,
     iter_data_blocks,
     raise_remote_error,
@@ -121,6 +127,37 @@ class Connection:
     def send(self, data: bytes) -> None:
         try:
             self._sock.sendall(data)
+        except socket.timeout as exc:
+            self.broken = True
+            raise TimeoutExceededError("send timed out") from exc
+        except OSError:
+            self.broken = True
+            raise
+
+    def send_parts(self, parts) -> None:
+        """Gather-send several buffers as one wire write (zero concat).
+
+        The frame header and its payload go to ``socket.sendmsg`` as
+        separate buffers — the kernel scatters them onto the wire without
+        this side ever joining them.  Short writes resume from the exact
+        byte the kernel accepted; platforms without ``sendmsg`` fall back
+        to ``sendall`` per buffer (still no concatenation).
+        """
+        try:
+            sendmsg = self._sock.sendmsg
+        except AttributeError:  # pragma: no cover - exotic platform
+            for part in parts:
+                self.send(part)
+            return
+        views = [memoryview(part).cast("B") for part in parts if len(part)]
+        try:
+            while views:
+                sent = sendmsg(views)
+                while views and sent >= len(views[0]):
+                    sent -= len(views[0])
+                    views.pop(0)
+                if sent and views:
+                    views[0] = views[0][sent:]
         except socket.timeout as exc:
             self.broken = True
             raise TimeoutExceededError("send timed out") from exc
@@ -279,6 +316,13 @@ class RemoteRepository:
         timeout: per-socket-operation deadline in seconds.
         retries: attempts for idempotent requests (1 = no retry).
         backoff: initial exponential-backoff delay between retries.
+        retry_budget_seconds: total wall-clock one operation may spend
+            across all its attempts and backoff sleeps (0 = unlimited).
+            Exhaustion raises
+            :class:`~repro.errors.RetryBudgetExceededError` and counts
+            ``client.retry_budget_exhausted`` — ``retries`` bounds the
+            attempts, this bounds the time, so a flapping daemon cannot
+            absorb unbounded client retry spend.
         pool_size: idle connections kept for reuse.
         event_log: structured event sink for client-side spans (connect,
             credit stalls, retries); defaults to the no-op logger.
@@ -301,10 +345,12 @@ class RemoteRepository:
         event_log: Optional[EventLogger] = None,
         metrics: Optional[MetricsRegistry] = None,
         pool: Optional[ConnectionPool] = None,
+        retry_budget_seconds: float = 0.0,
     ) -> None:
         self.repo = repo
         self.retries = max(1, retries)
         self.backoff = backoff
+        self.retry_budget_seconds = max(0.0, retry_budget_seconds)
         self.events = event_log if event_log is not None else EventLogger()
         self.metrics = metrics if metrics is not None else get_registry()
         self._owns_pool = pool is None
@@ -327,11 +373,27 @@ class RemoteRepository:
     # Request plumbing
     # ------------------------------------------------------------------
     def _with_retries(self, operation):
-        """Run an idempotent operation with exponential-backoff retries."""
+        """Run an idempotent operation under its retry budget.
+
+        Two independent bounds: ``retries`` caps the attempts, and
+        ``retry_budget_seconds`` caps the total wall-clock the operation
+        may consume (attempts + backoff sleeps).  Whichever runs out
+        first ends the operation; budget exhaustion raises the typed
+        :class:`RetryBudgetExceededError` so callers (and the cluster
+        router's failover logic) can distinguish "out of patience" from
+        "the server said no".
+        """
+        deadline = (
+            time.monotonic() + self.retry_budget_seconds
+            if self.retry_budget_seconds > 0
+            else None
+        )
         last: Optional[BaseException] = None
         for attempt in range(self.retries):
             if attempt:
                 sleep = min(self.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF)
+                if deadline is not None and time.monotonic() + sleep >= deadline:
+                    break  # sleeping would overrun the budget: stop now
                 self.metrics.inc("client.retries_total")
                 self.events.log(
                     "client_retry",
@@ -350,9 +412,22 @@ class RemoteRepository:
             except OSError as exc:
                 last = exc
                 continue
-        if isinstance(last, ReproError):
-            raise last
-        raise RemoteError(f"request failed after {self.retries} attempts: {last}") from last
+        else:
+            # Attempts ran out (no budget break): the historical outcome.
+            if isinstance(last, ReproError):
+                raise last
+            raise RemoteError(
+                f"request failed after {self.retries} attempts: {last}"
+            ) from last
+        self.metrics.inc("client.retry_budget_exhausted")
+        self.events.log(
+            "client_retry_budget_exhausted",
+            budget_s=self.retry_budget_seconds,
+            error=type(last).__name__ if last is not None else None,
+        )
+        raise RetryBudgetExceededError(
+            f"retry budget of {self.retry_budget_seconds:.1f}s exhausted: {last}"
+        ) from last
 
     def _simple_request(self, ftype: FrameType, obj: dict, expect: FrameType, kind: str) -> dict:
         conn = self.pool.acquire()
@@ -418,7 +493,7 @@ class RemoteRepository:
                 while credits <= 0:
                     credits += self._await_credit(conn, trace)
                 try:
-                    conn.send(encode_data(block))
+                    conn.send_parts(frame_parts(FrameType.CHUNK_DATA, block))
                 except OSError as exc:
                     error = conn.pending_error()
                     if error is not None:
@@ -711,9 +786,15 @@ class RemoteRepository:
                     "trace": trace,
                 }
                 conn.send(encode_json(FrameType.REPLICATE_PUT, header))
+                view = memoryview(blob)
                 for offset in range(0, len(blob), DATA_BLOCK):
                     try:
-                        conn.send(encode_data(blob[offset : offset + DATA_BLOCK]))
+                        conn.send_parts(
+                            frame_parts(
+                                FrameType.CHUNK_DATA,
+                                view[offset : offset + DATA_BLOCK],
+                            )
+                        )
                     except OSError as exc:
                         error = conn.pending_error()
                         if error is not None:

@@ -43,6 +43,7 @@ from ..errors import (
     NotPrimaryError,
     RemoteError,
     ReproError,
+    RetryBudgetExceededError,
     ServerDrainingError,
     TimeoutExceededError,
 )
@@ -55,12 +56,17 @@ def failover_worthy(exc: BaseException) -> bool:
     """Should this failure move the request to the next placement node?
 
     Only *transport* trouble qualifies: the socket died, timed out, the
-    daemon is draining, or the per-node retry budget was exhausted (the
-    client wraps that exhaustion in a bare :class:`RemoteError`).  Typed
+    daemon is draining, or the per-node retry budget was exhausted
+    (either the attempts cap wrapped in a bare :class:`RemoteError` or
+    the wall-clock cap's typed
+    :class:`~repro.errors.RetryBudgetExceededError`).  Other typed
     subclasses — protocol violations and the whole domain-error taxonomy —
     are answers from a live server; asking a replica cannot change them.
     """
-    if isinstance(exc, (TimeoutExceededError, ServerDrainingError, OSError)):
+    if isinstance(
+        exc,
+        (TimeoutExceededError, ServerDrainingError, RetryBudgetExceededError, OSError),
+    ):
         return True
     return type(exc) is RemoteError
 
@@ -74,8 +80,11 @@ class ClusterClient:
         cluster_map: optionally start from a known map (e.g. the spec
             file) instead of — not in place of — seed discovery; the
             freshest epoch still wins.
-        timeout / retries / backoff / pool_size: forwarded to every
-            underlying :class:`RemoteRepository`.
+        timeout / retries / backoff / pool_size / retry_budget_seconds:
+            forwarded to every underlying :class:`RemoteRepository`
+            (``retry_budget_seconds`` bounds one operation's total retry
+            wall-clock *per node*; exhaustion is failover-worthy, so the
+            router moves on instead of waiting out a flapping daemon).
         write_retry_timeout: how long (seconds) a failed *write* may wait
             for a failover promotion to surface a new primary before
             giving up (0 disables write retries entirely — the original
@@ -95,6 +104,7 @@ class ClusterClient:
         metrics: Optional[MetricsRegistry] = None,
         write_retry_timeout: float = 15.0,
         write_retry_interval: float = 0.25,
+        retry_budget_seconds: float = 0.0,
     ) -> None:
         self.seeds = [s.strip() for s in seeds if s and s.strip()]
         if not self.seeds and cluster_map is None:
@@ -103,6 +113,7 @@ class ClusterClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.retry_budget_seconds = retry_budget_seconds
         self.pool_size = pool_size
         self.events = event_log if event_log is not None else EventLogger()
         self.metrics = metrics if metrics is not None else get_registry()
@@ -135,6 +146,7 @@ class ClusterClient:
             address, tenant, timeout=self.timeout, retries=self.retries,
             backoff=self.backoff, event_log=self.events, metrics=self.metrics,
             pool=self.pool_for(address),
+            retry_budget_seconds=self.retry_budget_seconds,
         )
 
     def close(self) -> None:

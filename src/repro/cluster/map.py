@@ -217,6 +217,34 @@ class ClusterMap:
             promotions=self.promotions + [record],
         )
 
+    def revive(self, name: str, by: str) -> "ClusterMap":
+        """Mint the rejoin map: epoch + 1 with ``name``'s down marker cleared.
+
+        The inverse of :meth:`promote`, minted once a demoted daemon has
+        pulled itself back in sync and deep-verified every hosted tenant:
+        clearing the marker returns the node to the front of its tenants'
+        preference lists, so its *natural* primaryship resumes without an
+        operator rebalance.  A revival record is appended alongside the
+        promotion history for observability.
+        """
+        target = self.node(name)
+        if not target.down:
+            raise ClusterError(
+                f"node {name!r} is not marked down in epoch {self.epoch}"
+            )
+        nodes = [
+            NodeSpec(n.name, n.address, n.root, down=False) if n.name == name else n
+            for n in self.nodes
+        ]
+        record = {"epoch": self.epoch + 1, "revived": name, "by": by}
+        return ClusterMap(
+            nodes,
+            epoch=self.epoch + 1,
+            replicas=self.replicas,
+            vnodes=self.vnodes,
+            promotions=self.promotions + [record],
+        )
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

@@ -76,6 +76,17 @@ class ActiveContainerPool:
         self.location[chunk.fingerprint] = self._open.container_id
         return self._open.container_id
 
+    def store_chunks(self, chunks: Iterable[Chunk]) -> List[int]:
+        """Append a dedup batch's unique chunks in order; returns their CIDs.
+
+        The batch companion to :meth:`store_chunk`: one pool call per
+        engine dedup batch instead of one per chunk.  Appends happen in
+        input order, so any batch partitioning yields the exact container
+        layout the per-chunk path would have produced.
+        """
+        store = self.store_chunk
+        return [store(chunk) for chunk in chunks]
+
     def end_version(self) -> None:
         """Close the open container boundary (it stays active, not archival)."""
         self._open = None

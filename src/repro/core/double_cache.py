@@ -27,6 +27,14 @@ from typing import Dict, List, Mapping, Optional
 from ..errors import IndexError_
 from ..units import RECIPE_ENTRY_SIZE
 
+#: :meth:`DoubleHashCache.lookup_many` marker for a fingerprint whose
+#: *earlier occurrence in the same batch* was unique: by the time a
+#: sequential scan would classify this occurrence, the caller has stored
+#: the chunk and inserted it into T2, so it is a duplicate — but its entry
+#: (the assigned container ID) only exists after the caller's insert.
+#: Resolve with :meth:`DoubleHashCache.current_entry` post-insert.
+BATCH_DUPLICATE = object()
+
 
 @dataclass
 class CacheEntry:
@@ -78,6 +86,53 @@ class DoubleHashCache:
                 self.hits += 1
                 return entry
         return None  # Case one: unique.
+
+    def lookup_many(self, fingerprints: List[bytes]) -> List[object]:
+        """Classify a whole dedup batch in one call.
+
+        Amortises the per-chunk call (and the caller's lock round-trip)
+        over the batch while preserving the *sequential* classification
+        semantics exactly — counters included.  Per input fingerprint the
+        result is one of:
+
+        * a :class:`CacheEntry` — duplicate (T1 hits migrate to T2, as in
+          :meth:`classify`);
+        * ``None`` — unique: the caller stores the chunk and
+          :meth:`insert`\\ s it;
+        * :data:`BATCH_DUPLICATE` — duplicate *of a unique earlier in this
+          batch*; resolve via :meth:`current_entry` after the inserts.
+        """
+        results: List[object] = []
+        current = self._current
+        seen_unique = set()
+        for fp in fingerprints:
+            self.lookups += 1
+            entry = current.get(fp)
+            if entry is not None:
+                self.hits += 1
+                results.append(entry)
+                continue
+            for table in reversed(self._previous):
+                entry = table.pop(fp, None)
+                if entry is not None:
+                    current[fp] = entry
+                    self.hits += 1
+                    results.append(entry)
+                    break
+            else:
+                if fp in seen_unique:
+                    # Sequentially this occurrence lands after the caller
+                    # inserted the first one into T2: a hit.
+                    self.hits += 1
+                    results.append(BATCH_DUPLICATE)
+                else:
+                    seen_unique.add(fp)
+                    results.append(None)
+        return results
+
+    def current_entry(self, fingerprint: bytes) -> Optional[CacheEntry]:
+        """The T2 entry for ``fingerprint`` (resolves BATCH_DUPLICATE)."""
+        return self._current.get(fingerprint)
 
     def insert(self, fingerprint: bytes, size: int, cid: int) -> None:
         """Register a just-stored unique chunk in T2."""

@@ -36,7 +36,7 @@ from ..storage.recipe import ACTIVE_CID, MemoryRecipeStore, Recipe, RecipeEntry,
 from ..units import CONTAINER_SIZE
 from .chunk_filter import ActiveContainerPool
 from .deletion import DeletionManager, DeletionStats
-from .double_cache import DoubleHashCache
+from .double_cache import BATCH_DUPLICATE, DoubleHashCache
 from .recipe_chain import RecipeChain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -168,21 +168,38 @@ class HiDeStore(RestoreMixin):
         recipe = Recipe(version_id, tag)
 
         # Deduplicate against the fingerprint cache only — no disk lookups.
+        # Batched: one ``lookup_many`` round-trip classifies the whole
+        # batch, one ``store_chunks`` call appends its uniques — the index
+        # and pool are touched twice per 1024 chunks instead of per chunk,
+        # while the sequential per-chunk semantics (counters, container
+        # layout, recipe CIDs) are preserved exactly.
         chunks = iter(stream)
         while True:
             batch = list(islice(chunks, _CLASSIFY_BATCH))
             if not batch:
                 break
             with self._lock:
-                for chunk in batch:
-                    entry = self.cache.classify(chunk.fingerprint)
+                entries = self.cache.lookup_many(
+                    [chunk.fingerprint for chunk in batch]
+                )
+                uniques = [
+                    chunk for chunk, entry in zip(batch, entries) if entry is None
+                ]
+                # In-order batch append == identical container layout to
+                # the per-chunk path, whatever the batch partitioning.
+                cids = self.pool.store_chunks(uniques)
+                for chunk, cid in zip(uniques, cids):
+                    self.cache.insert(chunk.fingerprint, chunk.size, cid)
+                for chunk, entry in zip(batch, entries):
                     if entry is None:
-                        cid = self.pool.store_chunk(chunk)
-                        self.cache.insert(chunk.fingerprint, chunk.size, cid)
                         recipe_cid = ACTIVE_CID
                         report.unique_chunks += 1
                         report.stored_bytes += chunk.size
                     else:
+                        if entry is BATCH_DUPLICATE:
+                            # Duplicate of a unique stored earlier in this
+                            # very batch; its entry exists now.
+                            entry = self.cache.current_entry(chunk.fingerprint)
                         # Duplicates normally sit in active containers
                         # (recorded as ACTIVE); a reopened system's primed
                         # chunks are archival and keep their concrete CID in

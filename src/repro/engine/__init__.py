@@ -13,17 +13,31 @@ from .ingest import PipelinedIngestEngine, build_engine
 from .maintenance import MaintenanceExecutor
 from .pipeline import LazyBackupStream, ParallelChunkPipeline
 from .restore import PipelinedRestoreEngine, execute_plan_prefetched, restore_stream
+from .shared_pool import (
+    SEGMENT_BYTES,
+    IngestPoolError,
+    SharedChunkPool,
+    chunk_segment,
+    iter_segments,
+    sweep_orphaned_segments,
+)
 from .writer import WriteBehindContainerStore, install_write_behind
 
 __all__ = [
+    "IngestPoolError",
     "LazyBackupStream",
     "MaintenanceExecutor",
     "ParallelChunkPipeline",
     "PipelinedIngestEngine",
     "PipelinedRestoreEngine",
+    "SEGMENT_BYTES",
+    "SharedChunkPool",
     "WriteBehindContainerStore",
     "build_engine",
+    "chunk_segment",
     "execute_plan_prefetched",
     "install_write_behind",
+    "iter_segments",
     "restore_stream",
+    "sweep_orphaned_segments",
 ]

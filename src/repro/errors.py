@@ -115,6 +115,16 @@ class TimeoutExceededError(RemoteError):
     """A remote request did not complete within its deadline."""
 
 
+class RetryBudgetExceededError(RemoteError):
+    """An operation's retry budget (attempts and/or wall-clock) ran out.
+
+    Raised client-side instead of sleeping into the next backoff once the
+    per-operation budget is spent — a flapping daemon must not absorb
+    unbounded client retry time.  Carries the last transport error as its
+    ``__cause__``.
+    """
+
+
 class ServerDrainingError(RemoteError):
     """The server is shutting down and refuses new mutating sessions."""
 

@@ -208,6 +208,11 @@ class LocalRepository:
             (forwarded to the §5.4 engine; the server keeps the defaults).
         metrics: registry for stage-timing histograms (chunking, dedup,
             restore); defaults to the process registry.
+        ingest_pool: a daemon-lifetime
+            :class:`~repro.engine.shared_pool.SharedChunkPool`; when set,
+            :meth:`backup_blocks` chunks its segments on the shared pool
+            instead of inline.  The chunk sequence is byte-identical
+            either way (see the determinism contract in that module).
 
     Thread-safety: backups and deletions must be externally serialised (the
     daemon's per-repo writer lock does this); concurrent restores and stats
@@ -223,12 +228,14 @@ class LocalRepository:
         workers: int = 1,
         pipeline: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        ingest_pool=None,
     ) -> None:
         self.root = root
         self.history_depth = history_depth
         self.compress = compress
         self.workers = workers
         self.pipeline = pipeline
+        self.ingest_pool = ingest_pool
         self.metrics = metrics if metrics is not None else get_registry()
         self.storage = RepoStorage(root, compress=compress, metrics=self.metrics)
         self._store: Optional[HiDeStore] = None
@@ -316,9 +323,19 @@ class LocalRepository:
         This is the entry point the network daemon feeds frames into:
         chunking + fingerprinting run lazily, so ingest overlaps with frame
         arrival instead of buffering the whole version first.
+
+        The stream is re-framed into fixed-size ingest segments
+        (:func:`~repro.engine.shared_pool.iter_segments`); each segment is
+        chunked independently with the vectorized FastCDC kernel — inline
+        here, or on the daemon's shared multiprocess pool when
+        ``ingest_pool`` is wired in.  Segmentation depends only on the
+        byte stream, so every execution mode (serial, 1..N pool workers,
+        thread pool) produces byte-identical recipes, containers and
+        dedup stats.
         """
         from .chunking.fingerprint import Fingerprinter
         from .engine.pipeline import LazyBackupStream
+        from .engine.shared_pool import chunk_segment, iter_segments
 
         plan = [(validate_rel_name(rel), int(size)) for rel, size in plan]
         store = self._open_for_backup()
@@ -327,16 +344,24 @@ class LocalRepository:
         timings = {"chunking": 0.0}
 
         def chunks():
-            # Accumulate chunker+fingerprint wall time inside the lazy
-            # stream.  Note this includes waiting on the source iterator
-            # (frame arrival, for network ingest) — it bounds the time the
-            # dedup engine spent blocked on upstream stages.
-            source = iter(blocks)
+            # Accumulate chunking wall time inside the lazy stream.  Note
+            # this includes waiting on the source iterator (frame arrival,
+            # for network ingest) and, on the pooled path, waiting for
+            # worker results — it bounds the time the dedup engine spent
+            # blocked on upstream stages.
+            if self.ingest_pool is not None:
+                # The pool segments with its own configured segment size,
+                # so its slabs always fit the descriptors it hands out.
+                batches = self.ingest_pool.chunk_blocks(blocks)
+            else:
+                batches = (
+                    chunk_segment(chunker, fingerprinter, segment)
+                    for segment in iter_segments(blocks)
+                )
             mark = time.perf_counter()
-            for piece in chunker.split_stream(source):
-                chunk = fingerprinter.chunk(piece)
+            for batch in batches:
                 timings["chunking"] += time.perf_counter() - mark
-                yield chunk
+                yield from batch
                 mark = time.perf_counter()
             timings["chunking"] += time.perf_counter() - mark
 

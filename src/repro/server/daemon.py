@@ -22,6 +22,7 @@ rollback path.
 from __future__ import annotations
 
 import asyncio
+import os
 import queue
 import threading
 import time
@@ -32,14 +33,16 @@ from ..client.protocol import (
     DEFAULT_WINDOW,
     HEADER_SIZE,
     MAGIC,
+    MAX_PAYLOAD,
     PROTOCOL_VERSION,
     FrameType,
     check_hello,
     decode_header,
     decode_json,
-    encode_data,
+    encode_data_header,
     encode_error,
     encode_json,
+    frame_parts,
 )
 from ..cluster.map import ClusterMap, newer_map
 from ..errors import (
@@ -51,11 +54,13 @@ from ..errors import (
     RemoteError,
     ServerDrainingError,
 )
+from ..engine.shared_pool import SharedChunkPool, sweep_orphaned_segments
 from ..observability import EventLogger, MetricsRegistry, get_registry, new_trace_id
 from ..replication.planner import ObjectRef
 from ..replication.state import blob_digest, capture_state, source_identity, validate_object
-from ..replication.targets import commit_objects, read_object, write_object
+from ..replication.targets import commit_objects, object_path, read_object, write_object
 from ..repository import FilePlan, validate_rel_name
+from ..storage.repo import is_repo_url
 from .registry import RepoHandle, RepositoryRegistry
 
 #: Ceiling on one replicated object's size (containers are ~4 MiB; the
@@ -431,17 +436,24 @@ class _Session:
                 # Coalesce chunk-sized blobs into ~DATA_BLOCK frames so the
                 # wire carries a few large DATA frames per window instead of
                 # one frame per 8 KiB chunk (frame headers + drain round
-                # trips were dominating small-chunk restores).
-                pending_out = bytearray()
+                # trips were dominating small-chunk restores).  The blobs
+                # are *gathered*, never joined: one header plus the chunk
+                # list goes to ``writelines``, so the engine's buffers flow
+                # to the transport without a coalescing copy.
+                pending_out: list = []
+                pending_len = 0
 
                 async def flush() -> None:
-                    nonlocal send_seconds, sent_bytes
+                    nonlocal send_seconds, sent_bytes, pending_len
                     if not pending_out:
                         return
                     mark = time.perf_counter()
-                    self.writer.write(encode_data(bytes(pending_out)))
-                    sent_bytes += len(pending_out)
+                    self.writer.writelines(
+                        [encode_data_header(pending_len), *pending_out]
+                    )
+                    sent_bytes += pending_len
                     pending_out.clear()
+                    pending_len = 0
                     await self.writer.drain()  # TCP backpressure for the stream
                     send_seconds += time.perf_counter() - mark
 
@@ -450,8 +462,9 @@ class _Session:
                     batch = await asyncio.to_thread(_pull_batch, iterator, _RESTORE_BATCH)
                     for blob in batch:
                         sent_chunks += 1
-                        pending_out.extend(blob)
-                        if len(pending_out) >= DATA_BLOCK:
+                        pending_out.append(blob)
+                        pending_len += len(blob)
+                        if pending_len >= DATA_BLOCK:
                             await flush()
                     if len(batch) < _RESTORE_BATCH:
                         break
@@ -621,14 +634,50 @@ class _Session:
     async def _handle_replicate_fetch(self, obj: dict) -> None:
         handle = self.daemon.registry.get(obj.get("repo"))
         kind, name = self._replication_object(obj)
+        root = handle.repository.root
         async with handle.lock.read_locked():
-            blob = await asyncio.to_thread(
-                read_object, handle.repository.root, kind, name
+            # Whole-container reads on plain-directory (file) roots go
+            # kernel-to-kernel: one CHUNK_DATA header, then os.sendfile
+            # ships the file without the payload ever entering user space.
+            # The read lock is held across the send so compaction cannot
+            # rewrite the container under the in-flight copy.
+            path = (
+                object_path(root, kind, name) if not is_repo_url(root) else None
             )
+            if path is not None and os.path.isfile(path):
+                size = os.path.getsize(path)
+                if 0 < size <= MAX_PAYLOAD:
+                    self.daemon.note_session("replicate_fetch")
+                    self.writer.write(
+                        encode_json(FrameType.REPLICATE_OBJECT, {"size": size})
+                    )
+                    self.writer.write(encode_data_header(size))
+                    await self.writer.drain()
+                    loop = asyncio.get_running_loop()
+                    with open(path, "rb") as payload_file:
+                        try:
+                            await loop.sendfile(
+                                self.writer.transport, payload_file, fallback=True
+                            )
+                        except (NotImplementedError, RuntimeError):
+                            # Transport cannot sendfile (e.g. SSL or a test
+                            # double): stream it the classic way.
+                            while True:
+                                block = payload_file.read(DATA_BLOCK)
+                                if not block:
+                                    break
+                                self.writer.write(block)
+                                await self.writer.drain()
+                    await self.writer.drain()
+                    return
+            blob = await asyncio.to_thread(read_object, root, kind, name)
         self.daemon.note_session("replicate_fetch")
         self.writer.write(encode_json(FrameType.REPLICATE_OBJECT, {"size": len(blob)}))
+        view = memoryview(blob)
         for offset in range(0, len(blob), DATA_BLOCK):
-            self.writer.write(encode_data(blob[offset : offset + DATA_BLOCK]))
+            self.writer.writelines(
+                frame_parts(FrameType.CHUNK_DATA, view[offset : offset + DATA_BLOCK])
+            )
             await self.writer.drain()
         await self.writer.drain()
 
@@ -744,6 +793,16 @@ class BackupDaemon:
         probe_timeout: per-probe connect/read deadline in seconds — kept
             short so a dead peer is detected in roughly
             ``probe_failures * (probe_interval + probe_timeout)``.
+        ingest_workers: size of the daemon-lifetime shared chunking pool
+            (``serve --ingest-workers``).  ``0`` keeps the serial inline
+            ingest path; ``N >= 1`` chunks every tenant's backups on one
+            :class:`~repro.engine.shared_pool.SharedChunkPool` — segments
+            ship to workers through shared-memory slabs, crashed workers
+            respawn transparently, and any value of ``N`` produces
+            byte-identical recipes, containers and dedup stats.
+        ingest_executor: ``"process"`` (default) or ``"thread"`` — the
+            executor kind behind the shared pool.  Threads exist for
+            platforms where fork is unavailable and for determinism tests.
     """
 
     def __init__(
@@ -765,11 +824,15 @@ class BackupDaemon:
         probe_interval: float = 0.0,
         probe_failures: int = 3,
         probe_timeout: float = 2.0,
+        ingest_workers: int = 0,
+        ingest_executor: str = "process",
     ) -> None:
         if window < 1:
             raise ReproError("credit window must be at least 1 frame")
         if restore_workers < 1:
             raise ReproError("restore_workers must be at least 1")
+        if ingest_workers < 0:
+            raise ReproError("ingest_workers must be >= 0 (0 = serial ingest)")
         if cluster_map is None:
             self.cluster: Optional[ClusterMap] = None
         elif isinstance(cluster_map, ClusterMap):
@@ -794,10 +857,25 @@ class BackupDaemon:
         self.probe_failures = probe_failures
         self.probe_timeout = probe_timeout
         self.metrics = metrics if metrics is not None else get_registry()
+        # One chunking pool for the daemon's whole lifetime, shared by every
+        # tenant and session: CDC + SHA-1 escape the event loop's GIL, and
+        # the slab free-list bounds total in-flight segment memory however
+        # many backups run concurrently.
+        self.ingest_workers = ingest_workers
+        self.ingest_pool: Optional[SharedChunkPool] = (
+            SharedChunkPool(
+                ingest_workers, executor=ingest_executor, metrics=self.metrics
+            )
+            if ingest_workers >= 1
+            else None
+        )
         # Hosted repositories record their stage timings (chunking, dedup,
         # container I/O) into the daemon's registry, so STATS metrics tell
         # one consistent story per daemon.
-        self.registry = RepositoryRegistry(root, history_depth, compress, self.metrics)
+        self.registry = RepositoryRegistry(
+            root, history_depth, compress, self.metrics,
+            ingest_pool=self.ingest_pool,
+        )
         self.host = host
         self.port = port
         self.window = window
@@ -817,12 +895,25 @@ class BackupDaemon:
         # because the verify failed (or the local copy is missing).
         self._promotion_ok: Set[Tuple[str, int]] = set()
         self._fenced: Set[Tuple[str, int]] = set()
+        # Epoch whose demotion resync completed cleanly (every hosted
+        # tenant pulled + deep-verified): the prober may mint a revive map
+        # for it, returning this node's natural primaryship.
+        self._resync_clean: Optional[int] = None
         self._started = time.monotonic()
         self._session_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the listener (resolves the real port for ``port=0``)."""
+        if self.ingest_pool is not None:
+            # Reclaim slabs leaked by a previous daemon that died without
+            # unlinking, then spawn the workers *before* the first backup
+            # arrives — forking from a thread-quiet moment is safest, and
+            # eager spawn keeps first-backup latency flat.
+            swept = await asyncio.to_thread(sweep_orphaned_segments, self.metrics)
+            if swept:
+                self.events.log("ingest_orphans_swept", segments=swept)
+            await asyncio.to_thread(self.ingest_pool.warm)
         self._server = await asyncio.start_server(self._accept, self.host, self.port)
         self._started = time.monotonic()
         self.port = self._server.sockets[0].getsockname()[1]
@@ -1041,6 +1132,8 @@ class BackupDaemon:
         cluster = self.cluster
         if cluster is None or not self.node_name:
             return
+        epoch = cluster.epoch
+        clean = True
         names = await asyncio.to_thread(self.registry.repo_names)
         for name in names:
             acting = cluster.primary(name)
@@ -1057,11 +1150,21 @@ class BackupDaemon:
                         pull_tenant, remote, handle.repository.root
                     )
                     handle.repository.invalidate()
+                    # Revive gate: the pulled copy must pass the same
+                    # re-hash-every-chunk check promotion demands before
+                    # this node may reclaim its natural primaryship.
+                    verify = await asyncio.to_thread(
+                        handle.repository.verify, True
+                    )
+                if not verify.get("ok"):
+                    clean = False
                 self.metrics.inc("cluster.resyncs")
                 self.events.log(
-                    "cluster_resync", repo=name, source=acting.name, **report
+                    "cluster_resync", repo=name, source=acting.name,
+                    verified=bool(verify.get("ok")), **report
                 )
             except (ReproError, OSError) as exc:
+                clean = False
                 self.metrics.inc("cluster.resync_failures")
                 self.events.log(
                     "cluster_resync_failed",
@@ -1071,6 +1174,13 @@ class BackupDaemon:
                 )
             finally:
                 await asyncio.to_thread(remote.close)
+        if clean:
+            # Every hosted tenant is back in sync and deep-verified under
+            # this epoch's placement: eligible for automatic revival.
+            self._resync_clean = epoch
+            self.events.log(
+                "cluster_resync_clean", node=self.node_name, epoch=epoch
+            )
 
     def _probe_once(self, address: str, offer: Dict) -> Tuple[bool, Optional[Dict]]:
         """One blocking health probe (runs in a worker thread).
@@ -1110,6 +1220,8 @@ class BackupDaemon:
             cluster = self.cluster
             if cluster is None or not self.node_name:
                 continue
+            await self._maybe_revive()
+            cluster = self.cluster  # _maybe_revive may have minted a new map
             target = cluster.probe_target(self.node_name)
             if target is None:
                 continue
@@ -1147,6 +1259,41 @@ class BackupDaemon:
                     # already marked down via gossip); the next probe
                     # re-reads the map and re-targets.
                     pass
+
+    async def _maybe_revive(self) -> None:
+        """Un-mark this node once its demotion resync deep-verified clean.
+
+        The inverse of :meth:`_promote_dead`, self-minted: a daemon the
+        current map marks down, whose :meth:`_resync_demoted` pulled every
+        hosted tenant back in sync *and* deep-verified them under this very
+        epoch, publishes an epoch-bumped map clearing its own down marker.
+        Natural primaryship returns automatically — the previously promoted
+        acting primary adopts the newer epoch via gossip and its write
+        fence starts refusing, so clients re-route without an operator
+        rebalance.
+        """
+        cluster = self.cluster
+        if cluster is None or not self.node_name:
+            return
+        if not cluster.has_node(self.node_name) or not cluster.is_down(self.node_name):
+            return
+        if self._resync_clean != cluster.epoch:
+            # Stale or missing resync: a newer epoch landed since the last
+            # clean pull, so re-run the resync under it first.
+            if self._resyncer is None or self._resyncer.done():
+                self._schedule_resync()
+            return
+        try:
+            revived = cluster.revive(self.node_name, by=self.node_name)
+        except ClusterError:  # pragma: no cover - raced another map change
+            return
+        self.cluster = revived
+        self._resync_clean = None
+        self.metrics.inc("cluster.revivals")
+        self.events.log(
+            "cluster_revived", node=self.node_name, epoch=revived.epoch
+        )
+        await self._offer_map(revived)
 
     async def _promote_dead(self, dead: str) -> None:
         """Mint and adopt the failover map declaring ``dead`` down.
@@ -1335,6 +1482,10 @@ class BackupDaemon:
             task.cancel()
         if tasks:
             await asyncio.wait(tasks, timeout=max(5.0, timeout))
+        if self.ingest_pool is not None:
+            # After the drain no engine thread can touch the pool; close
+            # unlinks every shared-memory slab so nothing outlives us.
+            await asyncio.to_thread(self.ingest_pool.close)
         self.events.log("daemon_stop", address=self.address)
 
 

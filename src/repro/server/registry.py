@@ -88,10 +88,12 @@ class RepoHandle:
         history_depth: int,
         compress: bool,
         metrics: "MetricsRegistry | None" = None,
+        ingest_pool=None,
     ) -> None:
         self.name = name
         self.repository = LocalRepository(
-            root, history_depth=history_depth, compress=compress, metrics=metrics
+            root, history_depth=history_depth, compress=compress, metrics=metrics,
+            ingest_pool=ingest_pool,
         )
         self.lock = ReadWriteLock()
         self.active_ops = 0
@@ -144,11 +146,15 @@ class RepositoryRegistry:
         history_depth: int = 1,
         compress: bool = False,
         metrics: "MetricsRegistry | None" = None,
+        ingest_pool=None,
     ) -> None:
         self.root = root
         self.history_depth = history_depth
         self.compress = compress
         self.metrics = metrics
+        #: Daemon-lifetime shared chunking pool, handed to every tenant's
+        #: repository (``None`` keeps the serial inline ingest path).
+        self.ingest_pool = ingest_pool
         #: Parsed location for backend-URL roots; ``None`` keeps the
         #: historical directory-per-tenant fast path below.
         self.location: "RepoLocation | None" = (
@@ -189,7 +195,8 @@ class RepositoryRegistry:
                 if not create and not parse_repo_spec(repo_root).exists():
                     raise RemoteError(f"unknown repository {name!r}")
             handle = RepoHandle(
-                name, repo_root, self.history_depth, self.compress, self.metrics
+                name, repo_root, self.history_depth, self.compress, self.metrics,
+                ingest_pool=self.ingest_pool,
             )
             self._handles[name] = handle
             return handle

@@ -347,3 +347,79 @@ def test_status_distinguishes_stats_failure_from_dead(tmp_path, monkeypatch):
             assert "stats subsystem exploded" in degraded["stats_error"]
             assert healthy["alive"] is True and "stats_error" not in healthy
             assert doc["stale"] is False
+
+
+# ----------------------------------------------------------------------
+# Automatic revive: a resynced rejoiner un-marks itself
+# ----------------------------------------------------------------------
+def test_resynced_rejoiner_revives_and_resumes_natural_primaryship(tmp_path):
+    """The rejoin story must not end at 'demoted replica forever': once a
+    rejoined node has pulled every hosted tenant back in sync AND
+    deep-verified them, its own health loop mints an epoch-bumped map with
+    the down marker cleared — so its natural primaryship resumes without
+    an operator rebalance."""
+    from repro.server import DaemonThread
+
+    harness = ClusterHarness(str(tmp_path), nodes=3, replicas=2, **PROBE)
+    cmap = harness.start()
+    rejoined = None
+    try:
+        with ClusterClient(
+            [n.address for n in cmap.nodes], write_retry_timeout=30.0
+        ) as client:
+            tenant = "reviver"
+            v1 = make_tree(str(tmp_path / "v1"), seed=5)
+            v2 = make_tree(str(tmp_path / "v2"), seed=6)
+            v3 = make_tree(str(tmp_path / "v3"), seed=8)
+            repo = client.repo(tenant)
+            repo.backup_tree(v1, tag="v1")
+            old_primary = cmap.primary(tenant)
+            assert cmap.natural_primary(tenant).name == old_primary.name
+            client.remote(old_primary.address, tenant).cluster_sync(tenant)
+            harness.kill_node(old_primary.name)
+            repo.backup_tree(v2, tag="v2")  # failover write the node missed
+            promoted = client.refresh()
+            assert old_primary.name in promoted.down_names()
+
+            host, _, port = old_primary.address.rpartition(":")
+            rejoined = DaemonThread(
+                old_primary.root,
+                host=host,
+                port=int(port),
+                cluster_map=cmap,  # the stale epoch-1 spec it crashed with
+                node_name=old_primary.name,
+                metrics=MetricsRegistry(),
+                **PROBE,
+            )
+            rejoined.start()
+
+            # No operator action from here on: demote -> resync ->
+            # deep-verify -> self-revive, all inside the health loop.
+            def revived():
+                fresh = client.refresh()
+                return (
+                    fresh.epoch > promoted.epoch
+                    and old_primary.name not in fresh.down_names()
+                ) and fresh
+            fresh = wait_until(revived, timeout=40.0)
+
+            assert fresh.promotions[-1]["revived"] == old_primary.name
+            assert fresh.promotions[-1]["by"] == old_primary.name
+            # Natural primaryship is back: placement again leads with the
+            # revived node, and a write through the router lands on it.
+            assert fresh.primary(tenant).name == old_primary.name
+            report = repo.backup_tree(v3, tag="v3")
+            assert report["version_id"] == 3
+            direct = RemoteRepository(old_primary.address, tenant)
+            try:
+                assert [v["version_id"] for v in direct.versions()] == [1, 2, 3]
+            finally:
+                direct.close()
+            assert restored_bytes(repo, 2) == tree_bytes(v2)
+            assert restored_bytes(repo, 3) == tree_bytes(v3)
+            counters = rejoined.daemon.metrics.snapshot()["counters"]
+            assert counters.get("cluster.revivals", 0) == 1
+    finally:
+        if rejoined is not None:
+            rejoined.stop()
+        harness.stop()

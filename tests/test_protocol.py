@@ -163,3 +163,81 @@ class TestDataBlocks:
     def test_custom_block_size(self):
         out = list(iter_data_blocks(iter([b"abcdefgh"]), block_size=3))
         assert out == [b"abc", b"def", b"gh"]
+
+
+class TestZeroCopyFraming:
+    """The gather-write / zero-copy-read codec surface."""
+
+    def test_frame_parts_concatenate_to_encode_frame(self):
+        from repro.client.protocol import frame_parts
+
+        payload = b"p" * 1000
+        header, body = frame_parts(FrameType.CHUNK_DATA, payload)
+        assert header + bytes(body) == encode_frame(FrameType.CHUNK_DATA, payload)
+        header, body = frame_parts(FrameType.BACKUP_END)
+        assert header + body == encode_frame(FrameType.BACKUP_END)
+        with pytest.raises(ProtocolError):
+            frame_parts(FrameType.CHUNK_DATA, b"\0" * (MAX_PAYLOAD + 1))
+
+    def test_encode_data_header_matches_encode_data(self):
+        from repro.client.protocol import encode_data_header
+
+        payload = b"d" * 777
+        assert encode_data_header(len(payload)) + payload == encode_data(payload)
+        with pytest.raises(ProtocolError):
+            encode_data_header(MAX_PAYLOAD + 1)
+
+    def test_chunk_data_payload_is_a_view_into_the_fed_buffer(self):
+        wire = encode_data(b"z" * 4096)
+        decoder = FrameDecoder()
+        ((ftype, payload),) = decoder.feed(wire)
+        assert ftype == FrameType.CHUNK_DATA
+        # Zero copy: the payload is a memoryview over the very bytes object
+        # given to feed(), not a copy.
+        assert isinstance(payload, memoryview)
+        assert payload.obj is wire
+        assert bytes(payload) == b"z" * 4096
+
+    def test_control_payloads_are_bytes(self):
+        wire = encode_json(FrameType.STATS_OK, {"versions": 3})
+        ((ftype, payload),) = FrameDecoder().feed(wire)
+        assert ftype == FrameType.STATS_OK
+        assert isinstance(payload, bytes)
+
+    def test_straddled_payload_reassembles(self):
+        blob = bytes(range(256)) * 64
+        wire = encode_data(blob) + encode_data(blob[::-1])
+        decoder = FrameDecoder()
+        frames = []
+        # Feed in awkward pieces that split headers and payloads alike.
+        pieces = [
+            wire[:3],
+            wire[3 : HEADER_SIZE + 11],
+            wire[HEADER_SIZE + 11 : len(blob) + 40],
+            wire[len(blob) + 40 :],
+        ]
+        assert b"".join(pieces) == wire
+        for piece in pieces:
+            frames.extend(decoder.feed(piece))
+        assert [bytes(p) for _ft, p in frames] == [blob, blob[::-1]]
+        assert decoder.pending_bytes == 0
+
+    def test_pending_accounts_for_a_parsed_header(self):
+        wire = encode_data(b"q" * 100)
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:HEADER_SIZE]) == []
+        # The header may be consumed from the byte buffer but its size must
+        # still show in pending accounting until the frame completes.
+        assert decoder.pending_bytes == HEADER_SIZE
+        assert decoder.feed(wire[HEADER_SIZE:]) == [
+            (FrameType.CHUNK_DATA, b"q" * 100)
+        ]
+        assert decoder.pending_bytes == 0
+
+    def test_iter_data_blocks_yields_views_without_copying(self):
+        blob = b"r" * (DATA_BLOCK * 2 + 17)
+        blocks = list(iter_data_blocks([blob]))
+        assert [len(b) for b in blocks] == [DATA_BLOCK, DATA_BLOCK, 17]
+        assert all(isinstance(b, memoryview) for b in blocks)
+        assert all(b.obj is blob for b in blocks)
+        assert b"".join(bytes(b) for b in blocks) == blob

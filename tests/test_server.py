@@ -752,3 +752,136 @@ class TestRemoteCLI:
         assert main(["backup", "t", src, "--history-depth", "3",
                      "--remote", address]) == 1
         assert "--history-depth" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The shared multiprocess ingest plane behind the daemon
+# ----------------------------------------------------------------------
+class TestIngestPlane:
+    """Daemon-level acceptance for the shared chunking pool: any worker
+    count (and executor kind) must be byte-identical to serial ingest,
+    killed workers must respawn transparently, and a pool that exhausts
+    its retry budget must roll the partial version back."""
+
+    @pytest.mark.parametrize(
+        "workers,executor", [(1, "process"), (4, "process"), (2, "thread")]
+    )
+    def test_pooled_daemon_matches_serial(self, workers, executor, tmp_path):
+        trees = [synthetic_files(31, count=3, size=120_000)]
+        trees.append(dict(trees[0], **synthetic_files(32, count=1, size=120_000)))
+
+        def run(label, **daemon_kwargs):
+            thread = DaemonThread(str(tmp_path / label), **daemon_kwargs)
+            address = thread.start()
+            try:
+                reports, restored = [], []
+                with RemoteRepository(address, "alpha") as repo:
+                    for i, files in enumerate(trees):
+                        entries = make_tree(str(tmp_path / f"src-{label}-{i}"), files)
+                        reports.append(repo.backup_tree(entries, tag=f"v{i}"))
+                        plan, data = repo.restore(i + 1)
+                        out = str(tmp_path / f"out-{label}-{i}")
+                        materialize(plan, data, out)
+                        restored.append(tree_bytes(out))
+                return reports, restored
+            finally:
+                thread.stop(drain_timeout=5)
+
+        serial = run("serial")
+        pooled = run(
+            f"pool-{executor}{workers}",
+            ingest_workers=workers,
+            ingest_executor=executor,
+        )
+        assert pooled == serial
+        assert serial[0][1]["duplicate_chunks"] > 0  # versions actually overlap
+
+    def test_killed_workers_respawn_and_backup_succeeds(self, tmp_path):
+        thread = DaemonThread(str(tmp_path / "served"), ingest_workers=2)
+        address = thread.start()
+        try:
+            pids = thread.daemon.ingest_pool.worker_pids()
+            assert pids  # start() warmed the pool
+            for pid in pids:
+                os.kill(pid, 9)
+            entries = make_tree(str(tmp_path / "src"), synthetic_files(33))
+            with RemoteRepository(address, "alpha") as repo:
+                report = repo.backup_tree(entries, tag="survivor")
+                assert report["version_id"] == 1
+                plan, data = repo.restore(1)
+                materialize(plan, data, str(tmp_path / "out"))
+            assert tree_bytes(str(tmp_path / "out")) == tree_bytes(str(tmp_path / "src"))
+            counters = thread.daemon.metrics.snapshot()["counters"]
+            assert counters.get("ingest.worker_respawns", 0) >= 1
+        finally:
+            thread.stop(drain_timeout=5)
+
+    def test_pool_exhaustion_rolls_back_partial_version(self, tmp_path):
+        thread = DaemonThread(str(tmp_path / "served"), ingest_workers=2)
+        address = thread.start()
+        try:
+            thread.daemon.ingest_pool.max_retries = 0
+            for pid in thread.daemon.ingest_pool.worker_pids():
+                os.kill(pid, 9)
+            entries = make_tree(str(tmp_path / "src"), synthetic_files(34))
+            with RemoteRepository(address, "alpha") as repo:
+                with pytest.raises(ReproError, match="ingest|pool"):
+                    repo.backup_tree(entries, tag="doomed")
+                # Rollback guard: the partial version must not exist.
+                assert repo.versions() == []
+                # The pool rebuilt itself, so the next backup succeeds.
+                report = repo.backup_tree(entries, tag="recovered")
+                assert report["version_id"] == 1
+                plan, data = repo.restore(1)
+                materialize(plan, data, str(tmp_path / "out"))
+            assert tree_bytes(str(tmp_path / "out")) == tree_bytes(str(tmp_path / "src"))
+        finally:
+            thread.stop(drain_timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Request-level retry budgets
+# ----------------------------------------------------------------------
+class TestRetryBudget:
+    def test_budget_exhaustion_raises_typed_error_and_counts(self):
+        from repro.errors import RetryBudgetExceededError
+        from repro.observability import MetricsRegistry
+
+        with socket.socket() as probe:  # a port nobody is listening on
+            probe.bind(("127.0.0.1", 0))
+            host, port = probe.getsockname()
+
+        metrics = MetricsRegistry()
+        repo = RemoteRepository(
+            (host, port), "alpha", timeout=1, retries=20, backoff=0.2,
+            retry_budget_seconds=0.5, metrics=metrics,
+        )
+        started = time.monotonic()
+        try:
+            with pytest.raises(RetryBudgetExceededError) as info:
+                repo.server_stats()
+        finally:
+            repo.close()
+        # The budget, not the 20 attempts, ended the operation — quickly.
+        assert time.monotonic() - started < 5
+        assert isinstance(info.value, RemoteError)  # wire-taxonomy compatible
+        counters = metrics.snapshot()["counters"]
+        assert counters["client.retry_budget_exhausted"] == 1
+
+    def test_attempts_still_bound_without_a_budget(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            host, port = probe.getsockname()
+        repo = RemoteRepository((host, port), "alpha", timeout=1, retries=2,
+                                backoff=0.05)
+        try:
+            with pytest.raises(RemoteError):
+                repo.server_stats()
+        finally:
+            repo.close()
+
+    def test_budget_error_is_failover_worthy(self):
+        from repro.cluster.client import failover_worthy
+        from repro.errors import RetryBudgetExceededError
+
+        assert failover_worthy(RetryBudgetExceededError("budget spent"))
