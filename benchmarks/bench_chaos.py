@@ -1,0 +1,87 @@
+"""Chaos harness benchmark: throughput under fault injection.
+
+Replays the bundled ``benchmarks/scenarios/`` specs through the chaos
+runner and reports sustained multi-tenant ops/s *while faults fire* —
+the number that says what fleet-scale churn costs, not just a clean-path
+throughput.  The headline correctness number rides along: every run must
+finish with **zero invariant violations** and zero untyped errors, and
+``check_regression.py`` holds ``BENCH_chaos.json`` to that ceiling.
+
+Two deployment shapes are exercised: ``many_small_tenants`` against the
+in-process engine (storage-seam faults only) and ``mixed_churn`` against
+a live 3-daemon cluster + mirror daemon, where the fault set includes a
+SIGKILL'd primary, a corrupted replication PUT and a partitioned mirror.
+"""
+
+from __future__ import annotations
+
+import os
+
+from common import emit, write_bench_json
+
+from repro.chaos import load_scenario
+from repro.chaos.runner import ChaosRunner
+from repro.observability import MetricsRegistry
+
+SCENARIO_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "scenarios")
+
+
+def _run(name: str, deploy: str, workdir: str, **deploy_kwargs):
+    scenario = load_scenario(os.path.join(SCENARIO_DIR, f"{name}.json"))
+    runner = ChaosRunner(
+        scenario,
+        deploy=deploy,
+        workdir=workdir,
+        metrics=MetricsRegistry(),
+        deploy_kwargs=deploy_kwargs,
+    )
+    return runner.run()
+
+
+def test_chaos_throughput(benchmark, tmp_path):
+    """ops/s with faults firing, across an engine run and a cluster run."""
+    reports = {}
+
+    def run_all():
+        reports["many_small_tenants"] = _run(
+            "many_small_tenants", "local", str(tmp_path / "small")
+        )
+        reports["mixed_churn"] = _run(
+            "mixed_churn", "cluster", str(tmp_path / "mixed"),
+            nodes=3, replicas=2,
+        )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    doc = {"scenarios": {}, "invariant_violations": 0, "ops_failed_untyped": 0,
+           "faults_injected": 0}
+    for name, report in sorted(reports.items()):
+        ops = report["ops"]["attempted"]
+        seconds = report["duration_seconds"]
+        doc["scenarios"][name] = {
+            "deploy": report["deploy"],
+            "schedule_digest": report["schedule"]["digest"],
+            "ops": ops,
+            "ops_per_second": round(ops / seconds, 3) if seconds else 0.0,
+            "faults_injected": report["faults_injected"],
+            "invariant_failures": report["invariant_failures"],
+            "duration_seconds": seconds,
+        }
+        doc["invariant_violations"] += report["invariant_failures"]
+        doc["ops_failed_untyped"] += report["ops"]["by_status"].get(
+            "failed_untyped", 0
+        )
+        doc["faults_injected"] += report["faults_injected"]
+        emit(
+            f"chaos {name} [{report['deploy']}]: {ops} ops in "
+            f"{seconds:.1f}s ({doc['scenarios'][name]['ops_per_second']:.1f} "
+            f"ops/s), {report['faults_injected']} faults, "
+            f"{report['invariant_failures']} invariant violations"
+        )
+    write_bench_json("chaos", doc)
+
+    # The chaos contract: faults actually fired, and nothing they did
+    # produced a torn version, a torn mirror, or an untyped error.
+    assert doc["faults_injected"] >= 3
+    assert doc["invariant_violations"] == 0
+    assert doc["ops_failed_untyped"] == 0

@@ -44,10 +44,19 @@ GATED_METRICS = {
     # core-count-bound — baselines must come from a comparable runner.
     "cluster": ["speedup_3x"],
     "server_throughput": ["speedup_concurrent"],
-    # cluster_failover's failover_write_seconds is deliberately NOT gated:
-    # it is an absolute, hardware-dependent wall-clock where lower is
-    # better — the >15% drop rule would invert.  The committed baseline
-    # exists for trending; the bench itself asserts a hard ceiling.
+    # cluster_failover's failover_write_seconds is deliberately NOT in
+    # this table: it is an absolute, hardware-dependent wall-clock where
+    # lower is better — the >15% drop rule would invert.  It is gated by
+    # CEILING_METRICS below instead.
+}
+
+#: Absolute upper bounds, checked against the fresh result alone (no
+#: baseline ratio).  For lower-is-better wall-clocks the speedup-drop
+#: rule inverts, so they get a generous hard ceiling; correctness counts
+#: (invariant violations) get a ceiling of zero — any violation fails.
+CEILING_METRICS = {
+    "cluster_failover": {"failover_write_seconds": 30.0},
+    "chaos": {"invariant_violations": 0.0, "ops_failed_untyped": 0.0},
 }
 
 BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
@@ -80,6 +89,38 @@ def iter_pairs(results_dir: str) -> Iterator[Tuple[str, Dict, Dict]]:
         yield name, fresh, baseline
 
 
+def check_ceilings(results_dir: str) -> Tuple[int, list]:
+    """Gate fresh results against CEILING_METRICS; returns (checked, failures)."""
+    failures = []
+    checked = 0
+    for fname in sorted(os.listdir(results_dir)):
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        name = fname[len("BENCH_") : -len(".json")]
+        ceilings = CEILING_METRICS.get(name)
+        if not ceilings:
+            continue
+        with open(os.path.join(results_dir, fname), encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        for metric, ceiling in sorted(ceilings.items()):
+            try:
+                value = _lookup(fresh, metric)
+            except (KeyError, TypeError):
+                failures.append(f"{name}: fresh result lacks metric {metric}")
+                continue
+            checked += 1
+            status = "OK"
+            if value > ceiling:
+                status = "OVER CEILING"
+                failures.append(
+                    f"{name}.{metric}: {value:.3f} exceeds the hard "
+                    f"ceiling {ceiling:.3f}"
+                )
+            print(f"{status:>12}  {name}.{metric}: {value:.3f} "
+                  f"(ceiling {ceiling:.3f})")
+    return checked, failures
+
+
 def check(results_dir: str) -> int:
     failures = []
     checked = 0
@@ -109,6 +150,9 @@ def check(results_dir: str) -> int:
                 f"{new_value:.3f} (baseline {base_value:.3f}, "
                 f"{'-' if drop > 0 else '+'}{abs(drop):.1%})"
             )
+    ceiling_checked, ceiling_failures = check_ceilings(results_dir)
+    checked += ceiling_checked
+    failures.extend(ceiling_failures)
     if not checked:
         print("error: no gated benchmark results found to compare", file=sys.stderr)
         return 1
@@ -117,7 +161,8 @@ def check(results_dir: str) -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\nall {checked} gated metrics within {MAX_REGRESSION:.0%} of baseline")
+    print(f"\nall {checked} gated metrics pass "
+          f"(ratios within {MAX_REGRESSION:.0%} of baseline, ceilings held)")
     return 0
 
 

@@ -1,0 +1,443 @@
+"""Deployment shapes the chaos harness drives.
+
+One interface, three realisations of "a backup system with a mirror":
+
+* :class:`LocalDeployment` — per-tenant :class:`LocalRepository` plus a
+  per-tenant local mirror directory.  No processes, no network: the
+  fastest shape, for exercising the engine + storage layers.
+* :class:`DaemonDeployment` — one in-process backup daemon serving every
+  tenant, plus a second daemon acting as the off-site mirror.  Faults
+  can SIGKILL-equivalent the daemon mid-backup and partition the mirror.
+* :class:`ClusterDeployment` — a 3-node consistent-hash cluster
+  (:class:`~repro.cluster.supervisor.ClusterHarness`) driven through the
+  routing :class:`~repro.cluster.client.ClusterClient`, plus a mirror
+  daemon.  ``kill_primary`` kills the victim tenant's ring primary.
+
+Every shape runs in this process — which is what lets the storage-level
+fault injector (:mod:`repro.chaos.faults`) reach the daemons' backends,
+and lets invariants inspect authoritative on-disk state directly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..errors import ReproError, WorkloadError
+from ..observability import MetricsRegistry
+from ..repository import LocalRepository
+
+__all__ = [
+    "Deployment",
+    "LocalDeployment",
+    "DaemonDeployment",
+    "ClusterDeployment",
+    "make_deployment",
+    "DEPLOY_KINDS",
+]
+
+DEPLOY_KINDS = ("local", "daemon", "cluster")
+
+#: Fault classes each shape can realise.
+_LOCAL_FAULTS = frozenset({"enospc", "torn_write", "latency", "bitflip"})
+_SERVER_FAULTS = _LOCAL_FAULTS | frozenset(
+    {"corrupt_transit", "kill_primary", "partition_mirror"}
+)
+
+
+class Deployment:
+    """Common surface; see the concrete shapes for semantics."""
+
+    kind: str = "abstract"
+    supports_faults: frozenset = frozenset()
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def repo(self, tenant: str):
+        """The repository surface for one tenant (cached per tenant)."""
+        raise NotImplementedError
+
+    def tenant_root(self, tenant: str) -> str:
+        """Local directory of the tenant's authoritative copy."""
+        raise NotImplementedError
+
+    def mirror_target(self, tenant: str):
+        """A fresh :class:`ReplicationTarget` for the tenant's mirror."""
+        raise NotImplementedError
+
+    def mirror_root(self, tenant: str) -> str:
+        """Local directory of the tenant's mirror copy."""
+        raise NotImplementedError
+
+    def kill_primary(self, tenant: str) -> str:
+        raise WorkloadError(f"deployment {self.kind!r} cannot kill a primary")
+
+    def restart(self, label: str) -> None:
+        raise WorkloadError(f"deployment {self.kind!r} cannot restart nodes")
+
+    def partition_mirror(self) -> None:
+        raise WorkloadError(f"deployment {self.kind!r} cannot partition its mirror")
+
+    def heal_mirror(self) -> None:
+        raise WorkloadError(f"deployment {self.kind!r} cannot heal its mirror")
+
+    def invalidate(self, tenant: str) -> None:
+        """Drop cached engine state after out-of-band writes (repair)."""
+
+    def __enter__(self) -> "Deployment":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# local: in-process engine, no network
+# ----------------------------------------------------------------------
+class LocalDeployment(Deployment):
+    """In-process deployment: every tenant is a :class:`LocalRepository`.
+
+    No daemon means no process-level faults — only the storage-seam
+    classes (ENOSPC, torn writes, latency, bit flips) apply — but runs
+    are fast and hermetic, which makes this the default shape for unit
+    tests and the negative-control oracle.
+    """
+
+    kind = "local"
+    supports_faults = _LOCAL_FAULTS
+
+    def __init__(self, workdir: str, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.workdir = workdir
+        self.metrics = metrics
+        self.repos_root = os.path.join(workdir, "repos")
+        self.mirrors_root = os.path.join(workdir, "mirror")
+        self._repos: Dict[str, LocalRepository] = {}
+
+    def start(self) -> None:
+        os.makedirs(self.repos_root, exist_ok=True)
+        os.makedirs(self.mirrors_root, exist_ok=True)
+
+    def stop(self) -> None:
+        self._repos.clear()
+
+    def repo(self, tenant: str) -> LocalRepository:
+        repo = self._repos.get(tenant)
+        if repo is None:
+            repo = LocalRepository(
+                os.path.join(self.repos_root, tenant), metrics=self.metrics
+            )
+            self._repos[tenant] = repo
+        return repo
+
+    def tenant_root(self, tenant: str) -> str:
+        return os.path.join(self.repos_root, tenant)
+
+    def mirror_target(self, tenant: str):
+        from ..replication.targets import LocalMirror
+
+        return LocalMirror(os.path.join(self.mirrors_root, tenant))
+
+    def mirror_root(self, tenant: str) -> str:
+        return os.path.join(self.mirrors_root, tenant)
+
+    def invalidate(self, tenant: str) -> None:
+        repo = self._repos.get(tenant)
+        if repo is not None:
+            repo.invalidate()
+
+
+# ----------------------------------------------------------------------
+# daemon: one serving daemon + one mirror daemon
+# ----------------------------------------------------------------------
+class DaemonDeployment(Deployment):
+    """One shared backup daemon plus a mirror daemon, driven over the wire.
+
+    Adds the process-level fault classes: ``kill_primary`` SIGKILLs the
+    (single) daemon mid-operation and ``partition_mirror`` makes the
+    mirror refuse connections.  Note the blast radius — a kill aborts
+    *every* tenant's in-flight operation, which is exactly the ambiguity
+    the driver's reconciliation exists to absorb.
+    """
+
+    kind = "daemon"
+    supports_faults = _SERVER_FAULTS
+
+    def __init__(
+        self,
+        workdir: str,
+        metrics: Optional[MetricsRegistry] = None,
+        **daemon_kwargs,
+    ) -> None:
+        self.workdir = workdir
+        self.metrics = metrics
+        self.daemon_kwargs = daemon_kwargs
+        self.primary_root = os.path.join(workdir, "primary")
+        self.mirror_base = os.path.join(workdir, "mirror")
+        self.primary = None
+        self.mirror = None
+        self._port: Optional[int] = None
+        self._mirror_port: Optional[int] = None
+        self._repos: Dict[str, object] = {}
+
+    def _spawn_primary(self):
+        from ..server.daemon import DaemonThread
+
+        thread = DaemonThread(
+            self.primary_root,
+            host="127.0.0.1",
+            port=self._port or 0,
+            metrics=MetricsRegistry(),
+            **self.daemon_kwargs,
+        )
+        thread.start()
+        self._port = thread.daemon.port
+        return thread
+
+    def start(self) -> None:
+        from ..server.daemon import DaemonThread
+
+        os.makedirs(self.primary_root, exist_ok=True)
+        os.makedirs(self.mirror_base, exist_ok=True)
+        self.primary = self._spawn_primary()
+        mirror = DaemonThread(
+            self.mirror_base, host="127.0.0.1", port=0, metrics=MetricsRegistry()
+        )
+        mirror.start()
+        self.mirror = mirror
+        self._mirror_port = mirror.daemon.port
+
+    def stop(self) -> None:
+        for repo in self._repos.values():
+            try:
+                repo.close()
+            except ReproError:
+                pass
+        self._repos.clear()
+        if self.primary is not None:
+            self.primary.stop()
+            self.primary = None
+        if self.mirror is not None:
+            self.mirror.stop()
+            self.mirror = None
+
+    @property
+    def address(self) -> str:
+        return f"127.0.0.1:{self._port}"
+
+    @property
+    def mirror_address(self) -> str:
+        return f"127.0.0.1:{self._mirror_port}"
+
+    def repo(self, tenant: str):
+        from ..client.remote import RemoteRepository
+
+        repo = self._repos.get(tenant)
+        if repo is None:
+            repo = RemoteRepository(
+                self.address,
+                tenant,
+                timeout=15.0,
+                retries=2,
+                backoff=0.1,
+                retry_budget_seconds=20.0,
+            )
+            self._repos[tenant] = repo
+        return repo
+
+    def tenant_root(self, tenant: str) -> str:
+        return os.path.join(self.primary_root, tenant)
+
+    def mirror_target(self, tenant: str):
+        from ..replication.targets import RemoteMirror
+
+        return RemoteMirror(self.mirror_address, tenant, timeout=10.0, retries=2)
+
+    def mirror_root(self, tenant: str) -> str:
+        return os.path.join(self.mirror_base, tenant)
+
+    def kill_primary(self, tenant: str) -> str:
+        if self.primary is not None:
+            self.primary.kill()
+            self.primary = None
+        return "primary"
+
+    def restart(self, label: str) -> None:
+        if label != "primary":
+            raise WorkloadError(f"unknown daemon label {label!r}")
+        if self.primary is None:
+            self.primary = self._spawn_primary()
+
+    def partition_mirror(self) -> None:
+        if self.mirror is not None:
+            self.mirror.pause_accepting()
+
+    def heal_mirror(self) -> None:
+        if self.mirror is not None:
+            self.mirror.resume_accepting()
+
+    def invalidate(self, tenant: str) -> None:
+        _invalidate_daemon_tenant(self.primary, tenant)
+
+
+# ----------------------------------------------------------------------
+# cluster: 3 nodes + routing client + mirror daemon
+# ----------------------------------------------------------------------
+class ClusterDeployment(Deployment):
+    """A consistent-hash daemon cluster plus a mirror, via ClusterClient.
+
+    ``kill_primary`` resolves the ring primary of the *victim tenant* and
+    SIGKILLs that node only, so other tenants ride through on their own
+    primaries — the closest shape to the paper's production setting.
+    """
+
+    kind = "cluster"
+    supports_faults = _SERVER_FAULTS
+
+    def __init__(
+        self,
+        workdir: str,
+        nodes: int = 3,
+        replicas: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+        **daemon_kwargs,
+    ) -> None:
+        self.workdir = workdir
+        self.nodes = nodes
+        self.replicas = replicas
+        self.metrics = metrics
+        self.daemon_kwargs = daemon_kwargs
+        self.harness = None
+        self.map = None
+        self.client = None
+        self.mirror = None
+        self.mirror_base = os.path.join(workdir, "mirror")
+        self._mirror_port: Optional[int] = None
+        self._repos: Dict[str, object] = {}
+
+    def start(self) -> None:
+        from ..cluster.client import ClusterClient
+        from ..cluster.supervisor import ClusterHarness
+        from ..server.daemon import DaemonThread
+
+        os.makedirs(self.mirror_base, exist_ok=True)
+        self.harness = ClusterHarness(
+            os.path.join(self.workdir, "cluster"),
+            nodes=self.nodes,
+            replicas=self.replicas,
+            **self.daemon_kwargs,
+        )
+        self.map = self.harness.start()
+        self.client = ClusterClient(
+            [n.address for n in self.map.nodes],
+            cluster_map=self.map,
+            timeout=15.0,
+            retries=2,
+            backoff=0.1,
+            write_retry_timeout=3.0,
+            write_retry_interval=0.2,
+            retry_budget_seconds=20.0,
+        )
+        mirror = DaemonThread(
+            self.mirror_base, host="127.0.0.1", port=0, metrics=MetricsRegistry()
+        )
+        mirror.start()
+        self.mirror = mirror
+        self._mirror_port = mirror.daemon.port
+
+    def stop(self) -> None:
+        self._repos.clear()
+        if self.client is not None:
+            self.client.close()
+            self.client = None
+        if self.harness is not None:
+            self.harness.stop()
+            self.harness = None
+        if self.mirror is not None:
+            self.mirror.stop()
+            self.mirror = None
+
+    @property
+    def mirror_address(self) -> str:
+        return f"127.0.0.1:{self._mirror_port}"
+
+    def repo(self, tenant: str):
+        repo = self._repos.get(tenant)
+        if repo is None:
+            repo = self.client.repo(tenant)
+            self._repos[tenant] = repo
+        return repo
+
+    def _primary_node(self, tenant: str):
+        return self.map.primary(tenant)
+
+    def tenant_root(self, tenant: str) -> str:
+        return os.path.join(self._primary_node(tenant).root, tenant)
+
+    def mirror_target(self, tenant: str):
+        from ..replication.targets import RemoteMirror
+
+        return RemoteMirror(self.mirror_address, tenant, timeout=10.0, retries=2)
+
+    def mirror_root(self, tenant: str) -> str:
+        return os.path.join(self.mirror_base, tenant)
+
+    def kill_primary(self, tenant: str) -> str:
+        name = self._primary_node(tenant).name
+        self.harness.kill_node(name)
+        return name
+
+    def restart(self, label: str) -> None:
+        self.harness.restart_node(label)
+
+    def partition_mirror(self) -> None:
+        if self.mirror is not None:
+            self.mirror.pause_accepting()
+
+    def heal_mirror(self) -> None:
+        if self.mirror is not None:
+            self.mirror.resume_accepting()
+
+    def invalidate(self, tenant: str) -> None:
+        name = self._primary_node(tenant).name
+        thread = self.harness.threads.get(name) if self.harness else None
+        _invalidate_daemon_tenant(thread, tenant)
+
+
+def _invalidate_daemon_tenant(daemon_thread, tenant: str) -> None:
+    """Best-effort drop of a daemon's cached engine for one tenant.
+
+    Needed after the harness writes repository files behind the daemon's
+    back (at-rest corruption, repair): the cached engine must reload from
+    disk, exactly as the CLI's ``repair`` asks an operator to bounce the
+    tenant.  In-process daemons make this a direct registry call.
+    """
+    if daemon_thread is None:
+        return
+    try:
+        handle = daemon_thread.daemon.registry.get(tenant)
+    except ReproError:
+        return
+    handle.repository.invalidate()
+
+
+def make_deployment(
+    kind: str,
+    workdir: str,
+    metrics: Optional[MetricsRegistry] = None,
+    **kwargs,
+) -> Deployment:
+    """Build the deployment for ``kind`` (``local``/``daemon``/``cluster``)."""
+    if kind == "local":
+        return LocalDeployment(workdir, metrics=metrics)
+    if kind == "daemon":
+        return DaemonDeployment(workdir, metrics=metrics, **kwargs)
+    if kind == "cluster":
+        return ClusterDeployment(workdir, metrics=metrics, **kwargs)
+    raise WorkloadError(
+        f"unknown deployment kind {kind!r} (choose from {', '.join(DEPLOY_KINDS)})"
+    )

@@ -1,0 +1,334 @@
+"""Orchestrate one chaos run: compile → deploy → drive → check → report.
+
+The runner owns lifecycle ordering, which matters:
+
+1. compile the scenario (pure; the schedule digest is fixed here),
+2. install the fault controller's backend wrapper *before* the
+   deployment starts (daemons build their backends at first tenant
+   touch — the wrapper must already be in place),
+3. start the deployment, run each phase, check invariants at every
+   phase boundary with the clients quiesced,
+4. tear everything down (even on failure) and emit one JSON report.
+
+The report is the product: schedule digest + fault sites make the run
+reproducible, per-op latency quantiles make it a benchmark, and the
+invariant results make it a verdict CI can gate on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ReproError, WorkloadError
+from ..observability import MetricsRegistry, get_registry
+from .deploy import make_deployment
+from .driver import Driver, OpResult, TenantModel
+from .faults import FaultController
+from .invariants import check_invariants
+from .scenario import Schedule, compile_schedule
+
+__all__ = ["ChaosRunner", "run_scenario"]
+
+#: Op kinds a subprocess client can execute (no controller, no local
+#: filesystem access to the deployment roots required).
+_WORKER_OPS = frozenset({"backup", "restore", "verify", "delete"})
+
+
+class ChaosRunner:
+    """Run one scenario end to end and return the machine-readable report.
+
+    Owns the full lifecycle: compile the schedule, vet it against the
+    deployment's fault support, install the fault controller *before* the
+    deployment opens any backend (the wrapper seam only applies at open),
+    drive every phase, check invariants after each, and tear everything
+    down — including the scratch workdir when the caller did not pin one.
+    """
+
+    def __init__(
+        self,
+        scenario: Dict,
+        deploy: str = "local",
+        seed: Optional[int] = None,
+        workdir: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        client_mode: str = "threads",
+        deploy_kwargs: Optional[Dict] = None,
+    ) -> None:
+        if client_mode not in ("threads", "process"):
+            raise WorkloadError(
+                f"unknown client mode {client_mode!r} (threads or process)"
+            )
+        self.scenario = scenario
+        self.deploy_kind = deploy
+        self.seed = seed
+        self.workdir = workdir
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.client_mode = client_mode
+        self.deploy_kwargs = dict(deploy_kwargs or {})
+        self.schedule: Optional[Schedule] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict:
+        started = time.perf_counter()
+        self.schedule = compile_schedule(self.scenario, self.seed)
+        self._vet()
+
+        own_workdir = self.workdir is None
+        workdir = self.workdir or tempfile.mkdtemp(prefix="hidestore-chaos-")
+        os.makedirs(workdir, exist_ok=True)
+        trees_root = os.path.join(workdir, "trees")
+        deployment = make_deployment(
+            self.deploy_kind,
+            os.path.join(workdir, "deploy"),
+            metrics=self.metrics,
+            **self.deploy_kwargs,
+        )
+
+        controller = FaultController(self.metrics)
+        models = {
+            spec.name: TenantModel(
+                spec, os.path.join(trees_root, spec.name), self.schedule.seed
+            )
+            for spec in self.schedule.tenants
+        }
+        driver = Driver(self.schedule, deployment, controller, models, self.metrics)
+        invariants: List = []
+        try:
+            controller.install()  # before start(): daemons must wrap their backends
+            deployment.start()
+            if self.client_mode == "process":
+                self._run_process_clients(driver, workdir)
+                invariants.extend(
+                    check_invariants(driver, deployment, "final", self.metrics)
+                )
+            else:
+                for phase in self.schedule.phases:
+                    driver.run_phase(phase)
+                    invariants.extend(
+                        check_invariants(driver, deployment, phase, self.metrics)
+                    )
+        finally:
+            try:
+                deployment.stop()
+            finally:
+                controller.uninstall()
+                if own_workdir:
+                    shutil.rmtree(workdir, ignore_errors=True)
+
+        return self._report(
+            driver, controller, invariants, time.perf_counter() - started
+        )
+
+    # ------------------------------------------------------------------
+    def _vet(self) -> None:
+        assert self.schedule is not None
+        from .deploy import DEPLOY_KINDS, ClusterDeployment, DaemonDeployment, LocalDeployment
+
+        supported = {
+            "local": LocalDeployment.supports_faults,
+            "daemon": DaemonDeployment.supports_faults,
+            "cluster": ClusterDeployment.supports_faults,
+        }.get(self.deploy_kind)
+        if supported is None:
+            raise WorkloadError(
+                f"unknown deployment kind {self.deploy_kind!r} "
+                f"(choose from {', '.join(DEPLOY_KINDS)})"
+            )
+        unsupported = sorted(set(self.schedule.fault_kinds()) - supported)
+        if unsupported:
+            raise WorkloadError(
+                f"deployment {self.deploy_kind!r} cannot realise fault "
+                f"kind(s): {', '.join(unsupported)}"
+            )
+        if self.client_mode == "process":
+            if self.deploy_kind == "local":
+                raise WorkloadError(
+                    "process clients need a served deployment (daemon or cluster)"
+                )
+            if self.schedule.faults:
+                raise WorkloadError(
+                    "process clients cannot inject faults (the fault "
+                    "controller lives in the runner process); use threads"
+                )
+            bad = sorted(
+                {op.kind for op in self.schedule.ops} - _WORKER_OPS
+            )
+            if bad:
+                raise WorkloadError(
+                    f"process clients only run {sorted(_WORKER_OPS)}; "
+                    f"the scenario schedules: {', '.join(bad)}"
+                )
+
+    # ------------------------------------------------------------------
+    def _run_process_clients(self, driver: Driver, workdir: str) -> None:
+        """Fan the full schedule out to one subprocess per client.
+
+        Each worker owns its tenants end to end (all phases in one
+        invocation — models live in the worker), then reports results and
+        final models back as JSON for the invariant sweep.
+        """
+        schedule = self.schedule
+        deployment = driver.deployment
+        if deployment.kind == "cluster":
+            connect = {
+                "kind": "cluster",
+                "seeds": [n.address for n in deployment.map.nodes],
+            }
+        else:
+            connect = {"kind": "daemon", "address": deployment.address}
+        tenants = [t.name for t in schedule.tenants]
+        clients = max(1, min(schedule.clients, len(tenants)))
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        procs = []
+        for i in range(clients):
+            mine = set(tenants[i::clients])
+            job = {
+                "seed": schedule.seed,
+                "connect": connect,
+                "trees_root": os.path.join(workdir, "trees"),
+                "tenants": [
+                    {
+                        "name": t.name,
+                        "tenant_class": t.tenant_class,
+                        "files": t.files,
+                        "file_kb": t.file_kb,
+                        "churn": t.churn,
+                    }
+                    for t in schedule.tenants
+                    if t.name in mine
+                ],
+                "ops": [op.as_doc() for op in schedule.ops if op.tenant in mine],
+            }
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.chaos.worker"],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            procs.append((proc, job))
+        failures = []
+        for proc, job in procs:
+            out, _ = proc.communicate(json.dumps(job), timeout=600)
+            if proc.returncode != 0:
+                failures.append(f"worker exited with {proc.returncode}")
+                continue
+            try:
+                doc = json.loads(out)
+            except ValueError as exc:
+                failures.append(f"worker emitted invalid JSON: {exc}")
+                continue
+            for row in doc.get("results", []):
+                result = OpResult(
+                    index=row["index"],
+                    phase=row["phase"],
+                    tenant=row["tenant"],
+                    kind=row["kind"],
+                    status=row["status"],
+                    seconds=row["seconds"],
+                    error=row.get("error"),
+                )
+                driver.results.append(result)
+                self.metrics.inc("chaos.ops_total")
+                self.metrics.inc(f"chaos.ops_{result.status}")
+                self.metrics.observe(
+                    f"chaos.op_seconds.{result.kind}", result.seconds
+                )
+            for tenant, state in doc.get("models", {}).items():
+                model = driver.models.get(tenant)
+                if model is None:
+                    continue
+                model.versions = state.get("versions", [])
+                model.deleted = state.get("deleted", [])
+        if failures:
+            raise WorkloadError("; ".join(failures))
+        driver.results.sort(key=lambda r: r.index)
+        # Invariants run once at the end of a process-mode run; relabel
+        # every result into the synthetic "final" phase they check.
+        driver.results = [
+            OpResult(r.index, "final", r.tenant, r.kind, r.status, r.seconds, r.error)
+            for r in driver.results
+        ]
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        driver: Driver,
+        controller: FaultController,
+        invariants: List,
+        duration: float,
+    ) -> Dict:
+        schedule = self.schedule
+        by_status: Dict[str, int] = {}
+        by_kind: Dict[str, int] = {}
+        for result in driver.results:
+            by_status[result.status] = by_status.get(result.status, 0) + 1
+            by_kind[result.kind] = by_kind.get(result.kind, 0) + 1
+        failed = [r.as_doc() for r in driver.results if r.status.startswith("failed")]
+        violations = sum(1 for inv in invariants if not inv.ok)
+        snapshot = self.metrics.snapshot()
+        latency = {
+            name.rsplit(".", 1)[-1]: doc
+            for name, doc in snapshot.get("histograms", {}).items()
+            if name.startswith("chaos.op_seconds.")
+        }
+        chaos_counters = {
+            name: value
+            for name, value in snapshot.get("counters", {}).items()
+            if name.startswith("chaos.")
+        }
+        ok = violations == 0 and by_status.get("failed_untyped", 0) == 0
+        return {
+            "scenario": schedule.name,
+            "seed": schedule.seed,
+            "deploy": self.deploy_kind,
+            "client_mode": self.client_mode,
+            "clients": schedule.clients,
+            "schedule": {
+                "digest": schedule.digest(),
+                "tenants": len(schedule.tenants),
+                "phases": schedule.phases,
+                "ops": len(schedule.ops),
+            },
+            "fault_sites": [f.as_doc() for f in schedule.faults],
+            "faults_injected": len(controller.fired),
+            "faults_fired": controller.fired[:50],
+            "fault_log": driver.fault_log[:50],
+            "ops": {
+                "attempted": len(driver.results),
+                "by_status": by_status,
+                "by_kind": by_kind,
+                "failed": failed[:50],
+            },
+            "invariants": [inv.as_doc() for inv in invariants],
+            "invariant_failures": violations,
+            "ok": ok,
+            "latency_seconds": latency,
+            "metrics": chaos_counters,
+            "duration_seconds": round(duration, 3),
+        }
+
+
+def run_scenario(
+    scenario: Dict,
+    deploy: str = "local",
+    seed: Optional[int] = None,
+    report_path: Optional[str] = None,
+    **kwargs,
+) -> Dict:
+    """One-call façade: run a scenario, optionally write the JSON report."""
+    report = ChaosRunner(scenario, deploy=deploy, seed=seed, **kwargs).run()
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report

@@ -1,0 +1,433 @@
+"""Declarative chaos scenarios: JSON spec → deterministic op schedule.
+
+A scenario describes a fleet-scale workload the way an operator would —
+tenant population (count / size skew), an op mix per phase, and the
+faults to inject — without saying *when* anything happens.  This module
+turns that description into a fully materialised :class:`Schedule`:
+every operation pinned to a tenant, every fault pinned to an op site,
+all drawn from one seeded :class:`random.Random`.  The same spec + seed
+always compiles to the same schedule (``Schedule.digest`` proves it), so
+a chaos run that found a bug is re-runnable evidence, not an anecdote.
+
+Spec shape (all sizes in KiB; every field below ``seed`` has a default)::
+
+    {
+      "name": "mixed_churn",
+      "seed": 1234,
+      "clients": 4,
+      "tenants": {
+        "small": {"count": 6, "files": 3, "file_kb": 24, "churn": 0.4},
+        "huge":  {"count": 1, "files": 6, "file_kb": 256, "churn": 0.1}
+      },
+      "phases": [
+        {"name": "load",  "ops_per_tenant": 2, "mix": {"backup": 1}},
+        {"name": "churn", "ops": 40,
+         "mix": {"backup": 4, "restore": 3, "verify": 1,
+                 "replicate": 2, "delete": 1},
+         "faults": [
+           {"kind": "bitflip", "at_frac": 0.5, "recover": true},
+           {"kind": "kill_primary", "at_frac": 0.7, "recover": true}
+         ]}
+      ]
+    }
+
+Op kinds map onto the repository surface every deployment shape already
+exposes (backup/restore/verify/delete) plus the replication verbs
+(replicate/repair); fault kinds map onto the seams in
+:mod:`repro.chaos.faults`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import WorkloadError
+
+__all__ = [
+    "OP_KINDS",
+    "FAULT_KINDS",
+    "TenantSpec",
+    "ScheduledOp",
+    "FaultEvent",
+    "Schedule",
+    "load_scenario",
+    "validate_scenario",
+    "compile_schedule",
+]
+
+#: Operations the driver knows how to execute.
+OP_KINDS = ("backup", "restore", "verify", "replicate", "delete", "repair")
+
+#: Fault classes the injector knows how to arm (see repro.chaos.faults).
+FAULT_KINDS = (
+    "enospc",
+    "torn_write",
+    "latency",
+    "corrupt_transit",
+    "bitflip",
+    "kill_primary",
+    "partition_mirror",
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload profile (derived from its size class)."""
+
+    name: str
+    tenant_class: str
+    files: int
+    file_kb: int
+    churn: float
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One pinned operation: global index, phase, tenant, kind, params."""
+
+    index: int
+    phase: str
+    tenant: str
+    kind: str
+    params: Dict = field(default_factory=dict)
+
+    def as_doc(self) -> Dict:
+        return {
+            "index": self.index,
+            "phase": self.phase,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "params": self.params,
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault pinned to an op site (injected just before that op)."""
+
+    kind: str
+    op_index: int
+    phase: str
+    tenant: str
+    recover: bool
+    params: Dict = field(default_factory=dict)
+
+    def as_doc(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "op_index": self.op_index,
+            "phase": self.phase,
+            "tenant": self.tenant,
+            "recover": self.recover,
+            "params": self.params,
+        }
+
+
+@dataclass
+class Schedule:
+    """A compiled scenario: the full op list plus pinned fault sites."""
+
+    name: str
+    seed: int
+    clients: int
+    tenants: List[TenantSpec]
+    phases: List[str]
+    ops: List[ScheduledOp]
+    faults: List[FaultEvent]
+
+    def digest(self) -> str:
+        """Hex sha256 over the canonical schedule document.
+
+        Two compilations of the same spec + seed produce the same digest;
+        the run report carries it so reproducibility is checkable.
+        """
+        doc = {
+            "name": self.name,
+            "seed": self.seed,
+            "tenants": [t.name for t in self.tenants],
+            "ops": [op.as_doc() for op in self.ops],
+            "faults": [f.as_doc() for f in self.faults],
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def phase_ops(self, phase: str) -> List[ScheduledOp]:
+        return [op for op in self.ops if op.phase == phase]
+
+    def faults_at(self, op_index: int) -> List[FaultEvent]:
+        return [f for f in self.faults if f.op_index == op_index]
+
+    def fault_kinds(self) -> List[str]:
+        return sorted({f.kind for f in self.faults})
+
+
+# ----------------------------------------------------------------------
+# Spec loading + validation
+# ----------------------------------------------------------------------
+def load_scenario(path: str) -> Dict:
+    """Read and validate a scenario spec file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise WorkloadError(f"cannot read scenario {path!r}: {exc}") from None
+    except ValueError as exc:
+        raise WorkloadError(f"scenario {path!r} is not valid JSON: {exc}") from None
+    return validate_scenario(doc)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise WorkloadError(message)
+
+
+def validate_scenario(doc: object) -> Dict:
+    """Vet a scenario document; returns it with defaults filled in."""
+    _require(isinstance(doc, dict), "scenario must be a JSON object")
+    out = dict(doc)
+    out.setdefault("name", "scenario")
+    _require(isinstance(out["name"], str) and out["name"], "scenario name must be a non-empty string")
+    out.setdefault("seed", 0)
+    _require(isinstance(out["seed"], int), "scenario seed must be an integer")
+    out.setdefault("clients", 2)
+    _require(
+        isinstance(out["clients"], int) and out["clients"] >= 1,
+        "clients must be a positive integer",
+    )
+
+    tenants = out.get("tenants")
+    _require(
+        isinstance(tenants, dict) and tenants,
+        "scenario needs a non-empty 'tenants' mapping of size classes",
+    )
+    norm_tenants: Dict[str, Dict] = {}
+    for cls_name in sorted(tenants):
+        cls = tenants[cls_name]
+        _require(isinstance(cls, dict), f"tenant class {cls_name!r} must be an object")
+        cls = dict(cls)
+        cls.setdefault("count", 1)
+        cls.setdefault("files", 3)
+        cls.setdefault("file_kb", 16)
+        cls.setdefault("churn", 0.3)
+        _require(
+            isinstance(cls["count"], int) and cls["count"] >= 1,
+            f"tenant class {cls_name!r}: count must be >= 1",
+        )
+        _require(
+            isinstance(cls["files"], int) and cls["files"] >= 1,
+            f"tenant class {cls_name!r}: files must be >= 1",
+        )
+        _require(
+            isinstance(cls["file_kb"], int) and cls["file_kb"] >= 1,
+            f"tenant class {cls_name!r}: file_kb must be >= 1",
+        )
+        _require(
+            isinstance(cls["churn"], (int, float)) and 0.0 <= cls["churn"] <= 1.0,
+            f"tenant class {cls_name!r}: churn must be in [0, 1]",
+        )
+        norm_tenants[cls_name] = cls
+    out["tenants"] = norm_tenants
+
+    phases = out.get("phases")
+    _require(isinstance(phases, list) and phases, "scenario needs a non-empty 'phases' list")
+    norm_phases: List[Dict] = []
+    for i, phase in enumerate(phases):
+        _require(isinstance(phase, dict), f"phase {i} must be an object")
+        phase = dict(phase)
+        phase.setdefault("name", f"phase-{i + 1}")
+        has_total = "ops" in phase
+        has_per_tenant = "ops_per_tenant" in phase
+        _require(
+            has_total != has_per_tenant,
+            f"phase {phase['name']!r} needs exactly one of 'ops' / 'ops_per_tenant'",
+        )
+        count_key = "ops" if has_total else "ops_per_tenant"
+        _require(
+            isinstance(phase[count_key], int) and phase[count_key] >= 1,
+            f"phase {phase['name']!r}: {count_key} must be >= 1",
+        )
+        mix = phase.setdefault("mix", {"backup": 1})
+        _require(isinstance(mix, dict) and mix, f"phase {phase['name']!r}: mix must be a non-empty object")
+        for op, weight in mix.items():
+            _require(op in OP_KINDS, f"phase {phase['name']!r}: unknown op kind {op!r}")
+            _require(
+                isinstance(weight, (int, float)) and weight >= 0,
+                f"phase {phase['name']!r}: mix weight for {op!r} must be >= 0",
+            )
+        _require(
+            any(weight > 0 for weight in mix.values()),
+            f"phase {phase['name']!r}: mix has no positive weights",
+        )
+        faults = phase.setdefault("faults", [])
+        _require(isinstance(faults, list), f"phase {phase['name']!r}: faults must be a list")
+        norm_faults = []
+        for fault in faults:
+            _require(isinstance(fault, dict), f"phase {phase['name']!r}: each fault must be an object")
+            fault = dict(fault)
+            _require(
+                fault.get("kind") in FAULT_KINDS,
+                f"phase {phase['name']!r}: unknown fault kind {fault.get('kind')!r}",
+            )
+            if "at" in fault:
+                _require(
+                    isinstance(fault["at"], int) and fault["at"] >= 0,
+                    f"phase {phase['name']!r}: fault 'at' must be >= 0",
+                )
+            else:
+                frac = fault.setdefault("at_frac", 0.5)
+                _require(
+                    isinstance(frac, (int, float)) and 0.0 <= frac <= 1.0,
+                    f"phase {phase['name']!r}: fault 'at_frac' must be in [0, 1]",
+                )
+            fault.setdefault("recover", True)
+            _require(
+                isinstance(fault["recover"], bool),
+                f"phase {phase['name']!r}: fault 'recover' must be a boolean",
+            )
+            if "op_kind" in fault:
+                _require(
+                    fault["op_kind"] in OP_KINDS,
+                    f"phase {phase['name']!r}: fault 'op_kind' must be one "
+                    f"of {', '.join(OP_KINDS)}",
+                )
+            norm_faults.append(fault)
+        phase["faults"] = norm_faults
+        norm_phases.append(phase)
+    out["phases"] = norm_phases
+    return out
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _tenant_population(doc: Dict) -> List[TenantSpec]:
+    tenants: List[TenantSpec] = []
+    for cls_name in sorted(doc["tenants"]):
+        cls = doc["tenants"][cls_name]
+        for i in range(1, cls["count"] + 1):
+            tenants.append(
+                TenantSpec(
+                    name=f"t-{cls_name}-{i:02d}",
+                    tenant_class=cls_name,
+                    files=cls["files"],
+                    file_kb=cls["file_kb"],
+                    churn=float(cls["churn"]),
+                )
+            )
+    return tenants
+
+
+def _draw_op(rng: random.Random, mix: Dict[str, float]) -> str:
+    kinds = [k for k in OP_KINDS if mix.get(k, 0) > 0]
+    weights = [mix[k] for k in kinds]
+    return rng.choices(kinds, weights=weights, k=1)[0]
+
+
+def _op_params(rng: random.Random, kind: str) -> Dict:
+    if kind == "restore":
+        # Mostly the latest version (the §5 restore-performance story),
+        # sometimes an older one so chained recipes get exercised too.
+        return {"pick": rng.choices(["latest", "random"], weights=[2, 1], k=1)[0]}
+    if kind == "verify":
+        return {"deep": False}
+    return {}
+
+
+def compile_schedule(doc: Dict, seed: Optional[int] = None) -> Schedule:
+    """Compile a validated scenario into a deterministic :class:`Schedule`.
+
+    ``seed`` overrides the spec's seed (the CLI ``--seed`` flag).  All
+    randomness — tenant choice, op mix draws, restore version picks,
+    fault tenant assignment — comes from one ``random.Random(seed)``, so
+    the output is a pure function of (spec, seed).
+    """
+    doc = validate_scenario(doc)
+    if seed is None:
+        seed = doc["seed"]
+    rng = random.Random(seed)
+    tenants = _tenant_population(doc)
+    names = [t.name for t in tenants]
+
+    ops: List[ScheduledOp] = []
+    faults: List[FaultEvent] = []
+    index = 0
+    for phase in doc["phases"]:
+        phase_name = phase["name"]
+        phase_start = index
+        if "ops_per_tenant" in phase:
+            for _round in range(phase["ops_per_tenant"]):
+                for tenant in names:
+                    kind = _draw_op(rng, phase["mix"])
+                    ops.append(
+                        ScheduledOp(index, phase_name, tenant, kind, _op_params(rng, kind))
+                    )
+                    index += 1
+        else:
+            for _ in range(phase["ops"]):
+                tenant = rng.choice(names)
+                kind = _draw_op(rng, phase["mix"])
+                ops.append(
+                    ScheduledOp(index, phase_name, tenant, kind, _op_params(rng, kind))
+                )
+                index += 1
+        phase_ops = ops[phase_start:index]
+
+        for fault in phase["faults"]:
+            if "at" in fault:
+                offset = min(fault["at"], len(phase_ops) - 1)
+            else:
+                offset = min(
+                    int(fault["at_frac"] * len(phase_ops)), len(phase_ops) - 1
+                )
+            site = phase_ops[offset]
+            wanted = fault.get("tenant")
+            op_kind = fault.get("op_kind")
+
+            def _matches(op: ScheduledOp) -> bool:
+                return (wanted is None or op.tenant == wanted) and (
+                    op_kind is None or op.kind == op_kind
+                )
+
+            if wanted is not None or op_kind is not None:
+                # Pin to the first matching op at/after the site (wrapping
+                # to the phase start) so the injection rides an op that
+                # can actually realise it — an ENOSPC needs a write.
+                candidates = [op for op in phase_ops[offset:] if _matches(op)] or [
+                    op for op in phase_ops if _matches(op)
+                ]
+                if not candidates:
+                    raise WorkloadError(
+                        f"fault {fault['kind']!r} wants "
+                        f"tenant={wanted!r} op_kind={op_kind!r} but phase "
+                        f"{phase_name!r} schedules no matching op"
+                    )
+                site = candidates[0]
+            params = {
+                k: v
+                for k, v in fault.items()
+                if k not in ("kind", "at", "at_frac", "recover", "tenant", "op_kind")
+            }
+            faults.append(
+                FaultEvent(
+                    kind=fault["kind"],
+                    op_index=site.index,
+                    phase=phase_name,
+                    tenant=site.tenant,
+                    recover=fault["recover"],
+                    params=params,
+                )
+            )
+
+    return Schedule(
+        name=doc["name"],
+        seed=seed,
+        clients=doc["clients"],
+        tenants=tenants,
+        phases=[phase["name"] for phase in doc["phases"]],
+        ops=ops,
+        faults=faults,
+    )

@@ -293,6 +293,36 @@ class ClusterHarness:
         except KeyError:
             raise ClusterError(f"no running daemon named {name!r}") from None
 
+    def restart_node(self, name: str) -> None:
+        """Bring a (killed or running) node back on its original address.
+
+        The chaos harness kills a primary mid-backup and later restarts
+        it; the node resumes from its on-disk state — exactly the
+        operator "replace the crashed daemon" move.
+        """
+        from ..server.daemon import DaemonThread
+
+        node = next((n for n in self.map.nodes if n.name == name), None)
+        if node is None:
+            raise ClusterError(f"no node named {name!r} in the cluster map")
+        old = self.threads.pop(name, None)
+        if old is not None:
+            old.kill()
+        host, _, port = node.address.rpartition(":")
+        kwargs = dict(self.daemon_kwargs)
+        kwargs.setdefault("metrics", MetricsRegistry())
+        thread = DaemonThread(
+            node.root,
+            host=host,
+            port=int(port),
+            cluster_map=self.map,
+            node_name=node.name,
+            replicate_interval=self.replicate_interval,
+            **kwargs,
+        )
+        thread.start()
+        self.threads[name] = thread
+
     def addresses(self) -> List[str]:
         return [node.address for node in self.map.nodes]
 

@@ -79,9 +79,11 @@ def open_repository(
     container_store = storage.container_store()
     recipe_store = storage.recipe_store()
     if storage.has_checkpoint():
-        return system_from_document(
+        store = system_from_document(
             storage.read_checkpoint_document(), container_store, recipe_store
         )
+        _discard_uncommitted_tail(storage, store)
+        return store
     store = HiDeStore(
         container_store=container_store,
         recipe_store=recipe_store,
@@ -94,6 +96,33 @@ def open_repository(
         store._next_version = existing[-1] + 1
         store._retired = True
     return store
+
+
+def _discard_uncommitted_tail(storage: RepoStorage, store: HiDeStore) -> None:
+    """Crash recovery at open time: erase versions the checkpoint never saw.
+
+    The checkpoint is written after every successful backup, so it is the
+    commit record.  A recipe or manifest whose id is at or past the
+    checkpoint's ``next_version`` is debris from a backup that died between
+    its recipe/manifest writes and the checkpoint save (power loss, a
+    SIGKILL'd daemon): left in place it is listed by ``versions()`` but may
+    be unrestorable, and — worse — the stale version counter would hand the
+    same id to the next backup, silently overwriting one version with
+    another.  Containers past the checkpointed allocator are deliberately
+    kept: the §4.3 in-place rewrite of the previous recipe may already
+    reference migrated chunks inside them, so they are at worst orphaned
+    space, never safe to drop blindly.
+    """
+    mark = store._next_version
+    probe = storage.recipe_store()
+    tail = [vid for vid in probe.version_ids() if vid >= mark]
+    for vid in tail:
+        probe.delete(vid)
+    stale_manifests = [vid for vid in storage.manifest_ids() if vid >= mark]
+    for vid in stale_manifests:
+        storage.delete_manifest(vid)
+    if tail or stale_manifests:
+        storage.sweep()
 
 
 def validate_rel_name(rel: str) -> str:

@@ -303,9 +303,19 @@ class _Session:
         # Initial window, then start the engine before reading any data.
         self.writer.write(encode_json(FrameType.CREDIT, {"frames": window}))
         await self.writer.drain()
-        backup_task = asyncio.ensure_future(
-            asyncio.to_thread(handle.repository.backup_blocks, block_iter(), plan, tag)
-        )
+        engine_done = threading.Event()
+
+        def _engine():
+            # The event — not the asyncio task state — is the ground truth
+            # for "the engine thread has stopped touching the repository":
+            # cancelling a to_thread task only marks the future, the thread
+            # runs on regardless.
+            try:
+                return handle.repository.backup_blocks(block_iter(), plan, tag)
+            finally:
+                engine_done.set()
+
+        backup_task = asyncio.ensure_future(asyncio.to_thread(_engine))
 
         received = 0
         read_task: Optional[asyncio.Task] = None
@@ -350,10 +360,21 @@ class _Session:
                 if isinstance(first, ReproError)
                 else RemoteError("backup session aborted")
             )
-            try:
-                await asyncio.shield(backup_task)
-            except BaseException:
-                pass
+            # The engine runs on a worker thread and cannot be interrupted;
+            # the queued exception makes it unwind into the repository
+            # rollback.  When shutdown() cancels this session, the await on
+            # backup_task auto-cancels that future too — while the thread
+            # runs on — so backup_task.done() proves nothing.  Wait on the
+            # thread's own completion event, swallowing repeated
+            # cancellation, so shutdown() only returns once the repository
+            # is clean: committed or rolled back, never mid-write.
+            while not engine_done.is_set():
+                try:
+                    await asyncio.shield(asyncio.to_thread(engine_done.wait))
+                except asyncio.CancelledError:
+                    continue
+                except BaseException:
+                    break
             handle.note_backup_failed()
             if isinstance(first, ReproError) and not isinstance(first, ProtocolError):
                 await self._send_error(first)
@@ -937,6 +958,31 @@ class BackupDaemon:
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Listener partition (chaos harness)
+    # ------------------------------------------------------------------
+    async def pause_accepting(self) -> None:
+        """Close the listener without draining: a network partition.
+
+        In-flight sessions keep running; *new* connections are refused
+        until :meth:`resume_accepting` re-binds the same port.  The chaos
+        harness partitions a mirror daemon this way — the daemon process
+        stays healthy, only its front door disappears.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+            self.events.log("daemon_pause_accepting", address=self.address)
+
+    async def resume_accepting(self) -> None:
+        """Heal a :meth:`pause_accepting` partition (re-bind the port)."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._accept, self.host, self.port
+            )
+            self.events.log("daemon_resume_accepting", address=self.address)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -1555,6 +1601,18 @@ class DaemonThread:
     def kill(self) -> None:
         """Shut down with zero drain patience (in-flight work rolls back)."""
         self.stop(drain_timeout=0)
+
+    def pause_accepting(self, timeout: float = 10.0) -> None:
+        """Partition this daemon: refuse new connections (chaos harness)."""
+        asyncio.run_coroutine_threadsafe(
+            self.daemon.pause_accepting(), self._loop
+        ).result(timeout=timeout)
+
+    def resume_accepting(self, timeout: float = 10.0) -> None:
+        """Heal a :meth:`pause_accepting` partition."""
+        asyncio.run_coroutine_threadsafe(
+            self.daemon.resume_accepting(), self._loop
+        ).result(timeout=timeout)
 
     def __enter__(self) -> str:
         return self.start()

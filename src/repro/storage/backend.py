@@ -64,6 +64,9 @@ __all__ = [
     "parse_repo_spec",
     "validate_object_name",
     "SCHEMES",
+    "install_backend_wrapper",
+    "clear_backend_wrapper",
+    "wrap_backend",
 ]
 
 
@@ -85,6 +88,47 @@ def validate_object_name(name: str) -> str:
         if part in ("", ".", ".."):
             raise StorageError(f"unsafe component in object name {name!r}")
     return name
+
+
+# ----------------------------------------------------------------------
+# Backend wrapper hook (fault injection, tracing)
+# ----------------------------------------------------------------------
+#: Process-global backend wrapper: every backend construction that goes
+#: through this module (``open_backend``, ``RepoLocation.open_primary`` /
+#: ``open_archive``, the engine file stores) passes the fresh backend
+#: through the installed callable.  The chaos harness uses this to slide
+#: a :class:`~repro.chaos.faults.FaultInjectingBackend` under *every*
+#: repository in the process — including the plain-directory repos the
+#: daemon serves — without the owning layers knowing.
+_BACKEND_WRAPPER = None
+_WRAPPER_LOCK = threading.Lock()
+
+
+def install_backend_wrapper(wrapper) -> None:
+    """Install a process-global ``backend -> backend`` wrapper.
+
+    Only one wrapper may be installed at a time (chaos runs own the
+    process); installing over an existing one raises so two harnesses
+    cannot silently stack.
+    """
+    global _BACKEND_WRAPPER
+    with _WRAPPER_LOCK:
+        if _BACKEND_WRAPPER is not None and wrapper is not None:
+            raise StorageError("a backend wrapper is already installed")
+        _BACKEND_WRAPPER = wrapper
+
+
+def clear_backend_wrapper() -> None:
+    """Remove the installed wrapper (no-op when none is installed)."""
+    global _BACKEND_WRAPPER
+    with _WRAPPER_LOCK:
+        _BACKEND_WRAPPER = None
+
+
+def wrap_backend(backend: "StorageBackend") -> "StorageBackend":
+    """Pass a freshly constructed backend through the installed wrapper."""
+    wrapper = _BACKEND_WRAPPER
+    return backend if wrapper is None else wrapper(backend)
 
 
 @runtime_checkable
@@ -440,16 +484,16 @@ def open_backend(url: str) -> StorageBackend:
     """Open the storage backend a URL (or bare directory path) names."""
     split = _split_scheme(url)
     if split is None:
-        return FileBackend(url)
+        return wrap_backend(FileBackend(url))
     scheme, rest = split
     if scheme == "file":
-        return FileBackend(_file_path_from(rest))
+        return wrap_backend(FileBackend(_file_path_from(rest)))
     if scheme == "sqlite":
-        return SQLiteBackend(_file_path_from(rest))
+        return wrap_backend(SQLiteBackend(_file_path_from(rest)))
     if scheme == "s3":
         from .object_store import ObjectStoreBackend
 
-        return ObjectStoreBackend("s3://" + rest)
+        return wrap_backend(ObjectStoreBackend("s3://" + rest))
     raise StorageError(
         f"unknown storage backend scheme {scheme!r} in {url!r} "
         f"(supported: {', '.join(SCHEMES)})"
@@ -537,12 +581,12 @@ class RepoLocation:
 
     def open_primary(self) -> StorageBackend:
         if self.scheme == "file":
-            return FileBackend(self.path)
+            return wrap_backend(FileBackend(self.path))
         if self.scheme == "sqlite":
-            return SQLiteBackend(self.path)
+            return wrap_backend(SQLiteBackend(self.path))
         from .object_store import ObjectStoreBackend
 
-        return ObjectStoreBackend(f"s3://{self.path}")
+        return wrap_backend(ObjectStoreBackend(f"s3://{self.path}"))
 
     def open_archive(self) -> Optional[StorageBackend]:
         """The cold-tier backend, or ``None`` when there is no cold tier."""

@@ -31,7 +31,7 @@ from typing import Dict, Iterator, List, Optional
 from ..errors import ObjectMissingError, StorageError, UnknownChunkError, UnknownContainerError
 from ..observability import MetricsRegistry, get_registry
 from ..units import CONTAINER_SIZE, FINGERPRINT_SIZE
-from .backend import FileBackend, StorageBackend
+from .backend import FileBackend, StorageBackend, wrap_backend
 from .container import Container
 from .io_model import IOStats
 
@@ -419,7 +419,7 @@ class FileContainerStore(BackendContainerStore):
     ) -> None:
         self.root = root
         super().__init__(
-            FileBackend(root),
+            wrap_backend(FileBackend(root)),
             capacity=capacity,
             stats=stats,
             compress=compress,

@@ -1,0 +1,154 @@
+"""Chaos harness tests: determinism, fault delivery, invariant teeth.
+
+The harness is only trustworthy if (a) a seed pins the entire schedule —
+op order AND fault sites — so any red run replays exactly, (b) armed
+faults actually fire against a live deployment without tripping the
+invariants when recovery is enabled, and (c) the invariant checker is a
+real oracle: injecting damage *without* recovery must turn the run red.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import compile_schedule, run_scenario
+from repro.chaos.scenario import validate_scenario
+from repro.observability import MetricsRegistry
+
+
+def small_scenario(**overrides):
+    doc = {
+        "name": "unit",
+        "seed": 77,
+        "clients": 2,
+        "tenants": {"small": {"count": 3, "files": 2, "file_kb": 8, "churn": 0.5}},
+        "phases": [
+            {"name": "load", "ops_per_tenant": 2, "mix": {"backup": 1}},
+            {"name": "seed-mirror", "ops_per_tenant": 1, "mix": {"replicate": 1}},
+            {
+                "name": "churn",
+                "ops": 12,
+                "mix": {"backup": 3, "restore": 2, "verify": 1, "delete": 1},
+                "faults": [],
+            },
+        ],
+    }
+    doc.update(overrides)
+    return validate_scenario(doc)
+
+
+FAULTED = [
+    {"kind": "enospc", "at_frac": 0.2, "op_kind": "backup"},
+    {"kind": "bitflip", "at_frac": 0.5, "recover": True},
+    {"kind": "latency", "at_frac": 0.8, "seconds": 0.005, "count": 4},
+]
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_digest_and_fault_sites(self):
+        doc = small_scenario()
+        doc["phases"][2]["faults"] = FAULTED
+        first = compile_schedule(doc, seed=42)
+        second = compile_schedule(doc, seed=42)
+        assert first.digest() == second.digest()
+        assert [(f.kind, f.op_index) for f in first.faults] == [
+            (f.kind, f.op_index) for f in second.faults
+        ]
+        assert [(o.phase, o.tenant, o.kind) for o in first.ops] == [
+            (o.phase, o.tenant, o.kind) for o in second.ops
+        ]
+
+    def test_different_seed_different_schedule(self):
+        doc = small_scenario()
+        assert compile_schedule(doc, seed=1).digest() != compile_schedule(
+            doc, seed=2
+        ).digest()
+
+    def test_fault_site_honours_op_kind_pin(self):
+        doc = small_scenario()
+        doc["phases"][2]["faults"] = [
+            {"kind": "enospc", "at_frac": 0.0, "op_kind": "backup"}
+        ]
+        schedule = compile_schedule(doc, seed=7)
+        (fault,) = schedule.faults
+        assert schedule.ops[fault.op_index].kind == "backup"
+
+
+class TestChaosRuns:
+    def test_faults_fire_without_violations(self, tmp_path):
+        """Three distinct fault classes against a live engine: every one
+        fires, every op failure is typed, every invariant holds."""
+        doc = small_scenario()
+        doc["phases"][2]["faults"] = FAULTED
+        metrics = MetricsRegistry()
+        report = run_scenario(
+            doc,
+            deploy="local",
+            workdir=str(tmp_path / "run"),
+            metrics=metrics,
+        )
+        assert report["ok"], json.dumps(report["invariants"], indent=2)
+        assert report["faults_injected"] >= 3
+        assert {f["kind"] for f in report["faults_fired"]} >= {
+            "enospc", "bitflip", "latency"
+        }
+        assert report["invariant_failures"] == 0
+        assert report["ops"]["by_status"].get("failed_untyped", 0) == 0
+
+    def test_counters_surface_through_registry(self, tmp_path):
+        doc = small_scenario()
+        doc["phases"][2]["faults"] = FAULTED
+        metrics = MetricsRegistry()
+        report = run_scenario(
+            doc, deploy="local", workdir=str(tmp_path / "run"), metrics=metrics
+        )
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("chaos.faults_injected", 0) >= 3
+        assert counters.get("chaos.invariants_checked", 0) > 0
+        assert counters.get("chaos.invariant_failures", 0) == 0
+        assert report["metrics"].get("chaos.ops_total", 0) == (
+            report["ops"]["attempted"]
+        )
+        # Latency quantiles ride along per op kind.
+        assert "backup" in report["latency_seconds"]
+        assert report["latency_seconds"]["backup"]["count"] > 0
+
+    def test_report_written_to_disk(self, tmp_path):
+        doc = small_scenario()
+        path = str(tmp_path / "report.json")
+        report = run_scenario(
+            doc,
+            deploy="local",
+            workdir=str(tmp_path / "run"),
+            metrics=MetricsRegistry(),
+            report_path=path,
+        )
+        with open(path, encoding="utf-8") as handle:
+            on_disk = json.load(handle)
+        assert on_disk["schedule"]["digest"] == report["schedule"]["digest"]
+        assert on_disk["ok"] is True
+
+
+class TestNegativeControl:
+    def test_unrecovered_bitflip_turns_the_run_red(self, tmp_path):
+        """The acceptance oracle: damage injected WITHOUT recovery must be
+        caught — a green invariant checker that cannot go red proves
+        nothing."""
+        doc = small_scenario()
+        doc["phases"][2]["faults"] = [
+            {"kind": "bitflip", "at_frac": 0.3, "recover": False}
+        ]
+        report = run_scenario(
+            doc,
+            deploy="local",
+            workdir=str(tmp_path / "run"),
+            metrics=MetricsRegistry(),
+        )
+        assert report["invariant_failures"] > 0
+        assert report["ok"] is False
+        broken = [
+            inv for inv in report["invariants"]
+            if not inv["ok"] and inv["name"] == "no_torn_versions"
+        ]
+        assert broken, "the bitflip must surface as a torn version"

@@ -193,3 +193,158 @@ class TestAtomicWrites:
         save_checkpoint(system, path)  # overwrite in place
         assert not os.path.exists(path + ".tmp")
         load_checkpoint(path)
+
+
+# ----------------------------------------------------------------------
+# Daemon-level fault injection (chaos harness seams)
+# ----------------------------------------------------------------------
+def _daemon_tree(root, files=3, size=20_000, seed=3):
+    import random
+
+    from repro.repository import read_tree
+
+    rng = random.Random(seed)
+    os.makedirs(root, exist_ok=True)
+    for index in range(files):
+        with open(os.path.join(root, f"file{index}.bin"), "wb") as handle:
+            handle.write(rng.randbytes(size))
+    return read_tree(root)
+
+
+class TestDaemonDiskFull:
+    def test_enospc_mid_container_seal_rolls_back(self, tmp_path):
+        """An injected ENOSPC while the daemon seals a container must fail
+        the backup typed and leave zero trace — and the very next backup
+        (same tenant, same daemon) must succeed."""
+        from repro.chaos.faults import FaultController
+        from repro.client import RemoteRepository
+        from repro.server import DaemonThread
+
+        tree = _daemon_tree(str(tmp_path / "tree"))
+        controller = FaultController()
+        with controller:  # installed before the daemon builds backends
+            with DaemonThread(str(tmp_path / "served")) as address:
+                repo = RemoteRepository(address, "tenant-a")
+                try:
+                    repo.backup_tree(tree, tag="v1")
+                    before = repo.versions()
+                    controller.arm(
+                        "enospc", op="put", match_name="container"
+                    )
+                    _daemon_tree(str(tmp_path / "tree"), seed=4)
+                    from repro.repository import read_tree
+
+                    churned = read_tree(str(tmp_path / "tree"))
+                    with pytest.raises(ReproError):
+                        repo.backup_tree(churned, tag="v2")
+                    # Rollback: nothing new listed, nothing half-written.
+                    assert repo.versions() == before
+                    assert repo.verify(deep=True)["ok"]
+                    # The fault consumed itself; the retry lands.
+                    report = repo.backup_tree(churned, tag="v2-retry")
+                    after = [row["version_id"] for row in repo.versions()]
+                    assert report["version_id"] in after
+                    assert len(after) == len(before) + 1
+                    assert repo.verify(deep=True)["ok"]
+                finally:
+                    repo.close()
+
+
+class TestReplicateWireCorruption:
+    def test_bitflip_in_transit_rejected_by_digest_validation(self, tmp_path):
+        """A container blob corrupted between the source digest computation
+        and the mirror daemon must be rejected server-side, leaving the
+        mirror clean; the clean retry then succeeds."""
+        from repro.chaos.faults import FaultController, WireCorruptingMirror
+        from repro.errors import ReplicationError
+        from repro.replication import ReplicationSession
+        from repro.replication.repair import verify_repository
+        from repro.replication.targets import RemoteMirror
+        from repro.repository import LocalRepository
+        from repro.server import DaemonThread
+
+        source_root = str(tmp_path / "source")
+        repo = LocalRepository(source_root)
+        repo.backup_tree(_daemon_tree(str(tmp_path / "tree")), tag="v1")
+        repo.backup_tree(_daemon_tree(str(tmp_path / "tree"), seed=5), tag="v2")
+
+        controller = FaultController()
+        with DaemonThread(str(tmp_path / "mirror")) as address:
+            target = WireCorruptingMirror(
+                RemoteMirror(address, "tenant-a"), controller
+            )
+            try:
+                with pytest.raises(ReplicationError, match="digest validation"):
+                    ReplicationSession(source_root, target, journal="").run()
+            finally:
+                target.close()
+            assert [f["kind"] for f in controller.fired] == ["corrupt_transit"]
+
+            # The clean retry ships everything and the mirror verifies.
+            clean = RemoteMirror(address, "tenant-a")
+            try:
+                report = ReplicationSession(source_root, clean, journal="").run()
+            finally:
+                clean.close()
+            assert report.objects_shipped > 0
+        mirror_root = os.path.join(str(tmp_path / "mirror"), "tenant-a")
+        assert verify_repository(mirror_root, deep=True).ok
+        mirror_repo = LocalRepository(mirror_root)
+        assert [row["version_id"] for row in mirror_repo.versions()] == [1, 2]
+
+
+class TestKillMidBackup:
+    def test_sigkill_mid_backup_leaves_no_partial_version(self, tmp_path):
+        """Killing the daemon while a backup has a container in flight must
+        leave the repository either without the new version entirely or
+        with it complete — never torn — and a restarted daemon serves it."""
+        import threading
+
+        from repro.chaos.faults import FaultController
+        from repro.client import RemoteRepository
+        from repro.server import DaemonThread
+
+        tree = _daemon_tree(str(tmp_path / "tree"), files=4, size=60_000)
+        controller = FaultController()
+        with controller:
+            daemon = DaemonThread(str(tmp_path / "served"))
+            daemon.start()
+            port = daemon.daemon.port
+            repo = RemoteRepository(f"127.0.0.1:{port}", "tenant-a")
+            try:
+                repo.backup_tree(tree, tag="v1")
+                # Kill the daemon from another thread the moment the
+                # victim backup writes a container.
+                fired = threading.Event()
+                controller.arm(
+                    "trigger",
+                    op="put",
+                    match_name="container",
+                    callback=lambda _url, _name: fired.set(),
+                )
+                killer = threading.Thread(
+                    target=lambda: (fired.wait(10.0), daemon.kill())
+                )
+                killer.start()
+                churned = _daemon_tree(str(tmp_path / "tree"), files=4,
+                                       size=60_000, seed=9)
+                with pytest.raises((ReproError, OSError)):
+                    repo.backup_tree(churned, tag="v2")
+                killer.join(timeout=15.0)
+                assert fired.is_set()
+            finally:
+                repo.close()
+
+            # Restart on the same root: no torn version, state verifies.
+            with DaemonThread(str(tmp_path / "served"), port=port) as address:
+                again = RemoteRepository(address, "tenant-a")
+                try:
+                    ids = [row["version_id"] for row in again.versions()]
+                    assert ids in ([1], [1, 2])
+                    assert again.verify(deep=True)["ok"]
+                    # And the tenant accepts new work immediately.
+                    report = again.backup_tree(churned, tag="after-restart")
+                    assert report["version_id"] > ids[-1]
+                    assert again.verify(deep=True)["ok"]
+                finally:
+                    again.close()
